@@ -1,0 +1,18 @@
+"""Shared fixtures for the figure-regeneration benches."""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a result table straight to the terminal (bypassing capture)
+    after saving it under benchmarks/results/."""
+
+    def _emit(table):
+        rendered = table.emit()
+        with capsys.disabled():
+            print()
+            print(rendered)
+        return rendered
+
+    return _emit

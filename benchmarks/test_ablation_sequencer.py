@@ -1,0 +1,84 @@
+"""Ablation — the tuple sequencer's cost (paper Sections 5.4 / 6.3.2):
+global ordering stamps every segment with an RDMA fetch-and-add on a
+remote counter, adding one round trip before each send.
+
+Expected: an ordered replicate flow's per-tuple latency exceeds the
+unordered flow's by roughly the sequencer round trip — the effect that
+makes NOPaxos' unloaded latency equal Multi-Paxos' in Fig. 15.
+"""
+
+from repro.bench import Table, format_us
+from repro.core import (
+    FLOW_END,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Optimization,
+    Ordering,
+    Schema,
+)
+from repro.simnet import Cluster
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+TUPLES = 300
+
+
+def one_way_latency(ordering):
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_replicate_flow(
+        "rep", [Endpoint(1, 0)], [Endpoint(2, 0), Endpoint(3, 0)],
+        SCHEMA, optimization=Optimization.LATENCY, ordering=ordering,
+        options=FlowOptions(multicast=True, target_segments=64,
+                            credit_threshold=16))
+    latencies = []
+    send_times = {}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("rep", 0)
+        for i in range(TUPLES):
+            send_times[i] = env.now
+            yield from source.push((i, i))
+            yield env.timeout(3_000)  # paced, unloaded
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("rep", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            if index == 0:
+                latencies.append(
+                    cluster.env.now - send_times[item[0]])
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    ordered = sorted(latencies)
+    return ordered[len(ordered) // 2]
+
+
+def run_pair():
+    return {
+        "unordered": one_way_latency(Ordering.NONE),
+        "ordered": one_way_latency(Ordering.GLOBAL),
+    }
+
+
+def test_ablation_sequencer(benchmark, report):
+    results = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    cluster = Cluster(node_count=2)
+    rtt = 2 * cluster.profile.wire_latency
+    table = Table("ablation_sequencer",
+                  "Tuple sequencer cost (replicate flow, per-tuple)",
+                  ["ordering", "median delivery latency"])
+    table.add_row("none", format_us(results["unordered"]))
+    table.add_row("global (sequencer)", format_us(results["ordered"]))
+    overhead = results["ordered"] - results["unordered"]
+    table.note(f"sequencer adds {overhead / 1e3:.2f} us "
+               f"(one fetch-and-add round trip ~ {rtt / 1e3:.2f} us)")
+    report(table)
+    assert results["ordered"] > results["unordered"]
+    assert 0.5 * rtt < overhead < 3 * rtt

@@ -1,0 +1,73 @@
+"""Extension bench — SHARP-style in-network aggregation (the future work
+of paper Sections 4.2.3 / 6.1.3): with the reduction inside the switch,
+the combiner flow's aggregated sender bandwidth is no longer capped by
+the target's in-going link (the limit visible throughout Fig. 9).
+"""
+
+from repro.bench import Table, format_gib_s
+from repro.common.units import GIB, SECONDS, gbps_to_bytes_per_ns
+from repro.core import AggregationSpec, DfiRuntime, FlowOptions, Schema
+from repro.simnet import Cluster
+
+SCHEMA = Schema(("group", "uint64"), ("value", "int64"))
+LINK = gbps_to_bytes_per_ns(100.0)
+THREADS = (1, 2, 4)
+
+
+def combiner_bandwidth(in_network: bool, threads_per_sender: int) -> float:
+    cluster = Cluster(node_count=9)
+    dfi = DfiRuntime(cluster)
+    sources = [f"node{i + 1}|{t}" for i in range(8)
+               for t in range(threads_per_sender)]
+    dfi.init_combiner_flow(
+        "agg", sources=sources, target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec("sum", "group", "value"),
+        options=FlowOptions(in_network_aggregation=in_network,
+                            source_segments=4, target_segments=16,
+                            credit_threshold=8))
+    per_source = (3 << 20) // SCHEMA.tuple_size // len(sources)
+    window = {"start": None, "end": None}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("agg", index)
+        if window["start"] is None:
+            window["start"] = cluster.now
+        for i in range(per_source):
+            yield from source.push((i % 64, 1))
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("agg")
+        yield from target.consume_all()
+        window["end"] = cluster.now
+
+    for index in range(len(sources)):
+        cluster.env.process(source_thread(index))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    payload = per_source * len(sources) * SCHEMA.tuple_size
+    return payload / (window["end"] - window["start"])
+
+
+def run_sweep():
+    return {(mode, threads): combiner_bandwidth(mode, threads)
+            for mode in (False, True) for threads in THREADS}
+
+
+def test_ablation_sharp(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("ablation_sharp",
+                  "Combiner flow (SUM, 8:1): end-host vs in-network",
+                  ["threads/sender", "end-host (Fig. 9)",
+                   "in-network (SHARP)"])
+    for threads in THREADS:
+        table.add_row(threads,
+                      format_gib_s(results[(False, threads)]),
+                      format_gib_s(results[(True, threads)]))
+    table.note(f"target in-link: {LINK * SECONDS / GIB:.2f} GiB/s caps the "
+               "end-host combiner; switch-side reduction lifts the cap")
+    report(table)
+    for threads in THREADS:
+        assert results[(False, threads)] < 1.05 * LINK  # Fig. 9 cap
+    assert results[(True, 2)] > 1.5 * LINK  # the extension's headline
+    assert results[(True, 4)] > results[(False, 4)] * 1.5

@@ -1,0 +1,56 @@
+"""Fig. 10a — single-threaded point-to-point transfer of a fixed table:
+MPI Send/Recv vs. DFI (bandwidth- and latency-optimized).
+
+Paper shape: MPI's per-message overhead with no batching makes small
+tuples catastrophically slow; DFI bandwidth-optimized is flat and fast
+across tuple sizes; DFI latency-optimized sits in between for small
+tuples and converges for large ones.
+
+Scaling: the paper moves a 16 GiB table; we move 8 MiB (runtime scales
+linearly with table size at fixed tuple size, so ratios are preserved).
+"""
+
+from repro.bench import Table
+from repro.bench.mpi_compare import dfi_p2p_runtime, mpi_p2p_runtime
+from repro.core.flowdef import Optimization
+
+TUPLE_SIZES = (16, 64, 256, 1024, 4096, 16384)
+TABLE_BYTES = 8 << 20
+
+
+def run_sweep():
+    results = {}
+    for size in TUPLE_SIZES:
+        results[("mpi", size)] = mpi_p2p_runtime(size, TABLE_BYTES)
+        results[("dfi_bw", size)] = dfi_p2p_runtime(
+            size, TABLE_BYTES, optimization=Optimization.BANDWIDTH)
+        results[("dfi_lat", size)] = dfi_p2p_runtime(
+            size, TABLE_BYTES, optimization=Optimization.LATENCY)
+    return results
+
+
+def test_fig10a_p2p_single_threaded(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig10a",
+                  "Point-to-point runtime, 8 MiB table (paper: 16 GiB)",
+                  ["tuple size", "DFI bandwidth-opt", "DFI latency-opt",
+                   "MPI Send/Recv"])
+    for size in TUPLE_SIZES:
+        table.add_row(f"{size} B",
+                      f"{results[('dfi_bw', size)] / 1e6:9.2f} ms",
+                      f"{results[('dfi_lat', size)] / 1e6:9.2f} ms",
+                      f"{results[('mpi', size)] / 1e6:9.2f} ms")
+    table.note("paper: MPI explodes for small tuples (no batching); DFI "
+               "bandwidth-opt is flat; DFI latency-opt between the two")
+    report(table)
+    # MPI is far slower than DFI bandwidth-opt for tiny tuples...
+    assert results[("mpi", 16)] > 5 * results[("dfi_bw", 16)]
+    # ...and converges within a small factor for large ones.
+    assert results[("mpi", 16384)] < 3 * results[("dfi_bw", 16384)]
+    # DFI latency-opt sits between MPI and DFI bandwidth-opt at 16 B.
+    assert (results[("dfi_bw", 16)] < results[("dfi_lat", 16)]
+            < results[("mpi", 16)])
+    # DFI bandwidth-opt stays within one order of magnitude across tuple
+    # sizes (the residual slope is the single sender thread's per-tuple
+    # CPU, visible in the paper's Fig. 10a as well).
+    assert results[("dfi_bw", 16)] < 8 * results[("dfi_bw", 16384)]

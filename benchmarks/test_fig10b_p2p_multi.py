@@ -1,0 +1,51 @@
+"""Fig. 10b — multi-threaded point-to-point, 64 B tuples.
+
+Paper shape: DFI scales with sender threads; MPI with
+MPI_THREAD_MULTIPLE gets *slower* as threads contend on internal latches;
+MPI with one process per worker scales better than threads but is beaten
+by DFI.
+"""
+
+from repro.bench import Table
+from repro.bench.mpi_compare import dfi_p2p_runtime, mpi_p2p_runtime
+
+THREADS = (1, 2, 4, 8)
+TUPLE_SIZE = 64
+TABLE_BYTES = 4 << 20
+
+
+def run_sweep():
+    results = {}
+    for threads in THREADS:
+        results[("dfi", threads)] = dfi_p2p_runtime(
+            TUPLE_SIZE, TABLE_BYTES, threads=threads)
+        results[("mpi_threads", threads)] = mpi_p2p_runtime(
+            TUPLE_SIZE, TABLE_BYTES, threads=threads, multiprocess=False)
+        results[("mpi_procs", threads)] = mpi_p2p_runtime(
+            TUPLE_SIZE, TABLE_BYTES, threads=threads, multiprocess=True)
+    return results
+
+
+def test_fig10b_p2p_multi_threaded(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig10b",
+                  "Multi-threaded point-to-point, 64 B tuples, 4 MiB",
+                  ["sender threads", "DFI bandwidth-opt",
+                   "MPI multi-threaded", "MPI multi-process"])
+    for threads in THREADS:
+        table.add_row(threads,
+                      f"{results[('dfi', threads)] / 1e6:9.2f} ms",
+                      f"{results[('mpi_threads', threads)] / 1e6:9.2f} ms",
+                      f"{results[('mpi_procs', threads)] / 1e6:9.2f} ms")
+    table.note("paper: DFI scales with threads; MPI THREAD_MULTIPLE gets "
+               "worse with threads (latch contention); multi-process MPI "
+               "scales but stays behind DFI")
+    report(table)
+    # DFI gets faster with threads.
+    assert results[("dfi", 4)] < results[("dfi", 1)]
+    # MPI THREAD_MULTIPLE gets *slower* with threads.
+    assert results[("mpi_threads", 8)] > results[("mpi_threads", 1)]
+    # Multi-process MPI beats multi-threaded MPI at 8 workers.
+    assert results[("mpi_procs", 8)] < results[("mpi_threads", 8)]
+    # DFI beats both MPI variants at 8 workers.
+    assert results[("dfi", 8)] < results[("mpi_procs", 8)]

@@ -1,0 +1,48 @@
+"""Fig. 11 — streaming (pipelined) shuffling, 8:8: MPI_Alltoall in
+mini-batches of 8 tuples vs. a DFI shuffle flow.
+
+Paper shape: per-collective overhead makes MPI's runtime explode for
+small tuples; as the tuple size grows (mini-batch bytes grow with it),
+MPI's bandwidth approaches DFI's.
+"""
+
+from repro.bench import Table
+from repro.bench.mpi_compare import (
+    dfi_shuffle_88_runtime,
+    mpi_alltoall_pipelined_runtime,
+)
+from repro.common.units import GIB, SECONDS
+
+TUPLE_SIZES = (16, 64, 256, 1024, 4096, 16384)
+TABLE_BYTES = 8 << 20
+
+
+def run_sweep():
+    results = {}
+    for size in TUPLE_SIZES:
+        results[("mpi", size)] = mpi_alltoall_pipelined_runtime(
+            size, TABLE_BYTES)
+        results[("dfi", size)] = dfi_shuffle_88_runtime(size, TABLE_BYTES)
+    return results
+
+
+def test_fig11_collective_pipelined(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig11",
+                  "Streaming shuffle 8:8, 8 MiB table, mini-batches of 8",
+                  ["tuple size", "DFI runtime", "MPI runtime",
+                   "DFI bandwidth", "MPI bandwidth"])
+    for size in TUPLE_SIZES:
+        dfi_ns, mpi_ns = results[("dfi", size)], results[("mpi", size)]
+        table.add_row(
+            f"{size} B",
+            f"{dfi_ns / 1e6:9.2f} ms", f"{mpi_ns / 1e6:9.2f} ms",
+            f"{TABLE_BYTES / dfi_ns * SECONDS / GIB:7.2f} GiB/s",
+            f"{TABLE_BYTES / mpi_ns * SECONDS / GIB:7.2f} GiB/s")
+    table.note("paper: MPI collective overhead dominates small tuples; "
+               "bandwidths converge as tuple size grows")
+    report(table)
+    assert results[("mpi", 16)] > 10 * results[("dfi", 16)]
+    ratio_small = results[("mpi", 16)] / results[("dfi", 16)]
+    ratio_large = results[("mpi", 16384)] / results[("dfi", 16384)]
+    assert ratio_large < ratio_small / 3  # convergence with tuple size

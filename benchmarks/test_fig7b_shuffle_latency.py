@@ -1,0 +1,51 @@
+"""Fig. 7b — median round-trip latency of latency-optimized shuffle flows
+vs. the raw-verbs ib_write_lat baseline.
+
+Paper shape: DFI adds only minimal overhead over ib_write_lat; more
+targets cost slightly more (internal routing); RTT grows with tuple size.
+"""
+
+from repro.apps.perftest import ib_write_lat
+from repro.bench import Table, format_us
+from repro.bench.flows import measure_shuffle_rtt
+from repro.simnet import Cluster
+
+TUPLE_SIZES = (16, 64, 256, 1024, 4096, 16384)
+TARGET_COUNTS = (1, 4, 8)
+
+
+def median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def run_sweep():
+    results = {}
+    for size in TUPLE_SIZES:
+        for targets in TARGET_COUNTS:
+            results[("dfi", size, targets)] = median(
+                measure_shuffle_rtt(size, targets, iterations=60))
+        results[("raw", size)] = median(
+            ib_write_lat(Cluster(node_count=2), size=size, iterations=60))
+    return results
+
+
+def test_fig7b_shuffle_latency(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig7b", "Shuffle flow median RTT vs ib_write_lat",
+                  ["tuple size", "DFI N=1", "DFI N=4", "DFI N=8",
+                   "ib_write_lat"])
+    for size in TUPLE_SIZES:
+        table.add_row(f"{size} B",
+                      *(format_us(results[("dfi", size, n)])
+                        for n in TARGET_COUNTS),
+                      format_us(results[("raw", size)]))
+    table.note("paper: DFI adds only minimal overhead over ib_write_lat; "
+               "multiple targets slightly higher due to routing")
+    report(table)
+    for size in TUPLE_SIZES:
+        dfi1 = results[("dfi", size, 1)]
+        raw = results[("raw", size)]
+        assert dfi1 < 2.5 * raw  # minimal overhead over raw verbs
+        assert results[("dfi", size, 8)] >= dfi1 * 0.9
+    assert results[("dfi", 16384, 1)] > results[("dfi", 16, 1)]

@@ -1,0 +1,45 @@
+"""Fig. 8a — replicate flow, naive one-sided replication (1:8):
+aggregated receiver bandwidth.
+
+Paper shape: the sender's outgoing link is the bottleneck — the aggregate
+receive bandwidth is capped by ~1x link speed no matter how many source
+threads or how large the tuples.
+"""
+
+from repro.bench import Table, format_gib_s
+from repro.bench.flows import measure_replicate_bandwidth
+from repro.common.units import GIB, SECONDS, gbps_to_bytes_per_ns
+
+TUPLE_SIZES = (64, 256, 1024)
+SOURCE_THREADS = (1, 2, 4)
+LINK = gbps_to_bytes_per_ns(100.0)
+
+
+def run_sweep():
+    results = {}
+    for tuple_size in TUPLE_SIZES:
+        for threads in SOURCE_THREADS:
+            m = measure_replicate_bandwidth(
+                tuple_size, threads, multicast=False,
+                total_bytes=1 << 20)
+            results[(tuple_size, threads)] = m.bytes_per_ns
+    return results
+
+
+def test_fig8a_replicate_naive(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig8a",
+                  "Replicate flow aggregated receiver BW (naive, 1:8)",
+                  ["tuple size", "1 source", "2 sources", "4 sources"])
+    for tuple_size in TUPLE_SIZES:
+        table.add_row(f"{tuple_size} B",
+                      *(format_gib_s(results[(tuple_size, t)])
+                        for t in SOURCE_THREADS))
+    table.note(f"sender link: {LINK * SECONDS / GIB:.2f} GiB/s — the "
+               "naive replication is limited by the sender's uplink")
+    report(table)
+    # The aggregate receive bandwidth never beats the single sender link
+    # by much: all 8 copies share the uplink.
+    for key, bandwidth in results.items():
+        assert bandwidth < 1.25 * LINK, key
+    assert results[(1024, 4)] > 0.7 * LINK

@@ -1,0 +1,42 @@
+"""Fig. 8b — replicate flow with switch multicast (1:8): aggregated
+receiver bandwidth.
+
+Paper shape: replication happens in the switch, so the aggregate receive
+bandwidth sails past the sender's 11.64 GiB/s link (up to ~64 GiB/s with
+8 receivers); extra source threads do not help much.
+"""
+
+from repro.bench import Table, format_gib_s
+from repro.bench.flows import measure_replicate_bandwidth
+from repro.common.units import gbps_to_bytes_per_ns
+
+TUPLE_SIZES = (64, 256, 1024)
+SOURCE_THREADS = (1, 2, 4)
+LINK = gbps_to_bytes_per_ns(100.0)
+
+
+def run_sweep():
+    results = {}
+    for tuple_size in TUPLE_SIZES:
+        for threads in SOURCE_THREADS:
+            m = measure_replicate_bandwidth(
+                tuple_size, threads, multicast=True, total_bytes=1 << 20)
+            results[(tuple_size, threads)] = m.bytes_per_ns
+    return results
+
+
+def test_fig8b_replicate_multicast(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig8b",
+                  "Replicate flow aggregated receiver BW (multicast, 1:8)",
+                  ["tuple size", "1 source", "2 sources", "4 sources"])
+    for tuple_size in TUPLE_SIZES:
+        table.add_row(f"{tuple_size} B",
+                      *(format_gib_s(results[(tuple_size, t)])
+                        for t in SOURCE_THREADS))
+    table.note("paper: beyond the sender link limit (up to ~64 GiB/s); "
+               "more sender threads do not scale the multicast group")
+    report(table)
+    # Aggregate receive bandwidth exceeds the sender's link by far.
+    assert results[(1024, 1)] > 3 * LINK
+    assert results[(256, 1)] > 2 * LINK

@@ -1,0 +1,53 @@
+"""Fig. 8c — replicate flow latency: time until *all* N targets answered,
+naive one-sided vs. multicast.
+
+Paper shape: naive replication is lowest for N=1 but grows with N (the
+uplink serializes the copies); multicast grows much less from 1 to 8
+targets and wins at N=8.
+"""
+
+from repro.bench import Table, format_us
+from repro.bench.flows import measure_replicate_rtt
+
+# 4000 B stands in for the paper's 4 KiB point: a UD datagram must fit
+# payload + 16-byte footer within the 4096-byte MTU.
+TUPLE_SIZES = (16, 64, 256, 1024, 4000)
+TARGETS = (1, 8)
+
+
+def median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def run_sweep():
+    results = {}
+    for size in TUPLE_SIZES:
+        for targets in TARGETS:
+            for multicast in (False, True):
+                rtts = measure_replicate_rtt(size, targets, multicast,
+                                             iterations=60)
+                results[(size, targets, multicast)] = median(rtts)
+    return results
+
+
+def test_fig8c_replicate_latency(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig8c", "Replicate flow median latency (all targets)",
+                  ["tuple size", "naive N=1", "naive N=8",
+                   "multicast N=1", "multicast N=8"])
+    for size in TUPLE_SIZES:
+        table.add_row(f"{size} B",
+                      format_us(results[(size, 1, False)]),
+                      format_us(results[(size, 8, False)]),
+                      format_us(results[(size, 1, True)]),
+                      format_us(results[(size, 8, True)]))
+    table.note("paper: naive is cheapest at N=1 but grows with N; "
+               "multicast grows far less and wins at N=8")
+    report(table)
+    for size in TUPLE_SIZES:
+        naive_growth = results[(size, 8, False)] - results[(size, 1, False)]
+        mcast_growth = results[(size, 8, True)] - results[(size, 1, True)]
+        assert mcast_growth < naive_growth
+    largest = TUPLE_SIZES[-1]
+    assert results[(largest, 8, True)] < results[(largest, 8, False)]

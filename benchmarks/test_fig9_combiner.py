@@ -1,0 +1,45 @@
+"""Fig. 9 — combiner flow with SUM aggregation (8:1): aggregated sender
+bandwidth.
+
+Paper shape: with 2 or more sender threads per node the flow saturates the
+target's in-going link (one link's worth of aggregate bandwidth).
+"""
+
+from repro.bench import Table, format_gib_s
+from repro.bench.flows import measure_combiner_bandwidth
+from repro.common.units import GIB, SECONDS, gbps_to_bytes_per_ns
+
+TUPLE_SIZES = (64, 256, 1024)
+SENDER_THREADS = (1, 2, 4)
+LINK = gbps_to_bytes_per_ns(100.0)
+
+
+def run_sweep():
+    results = {}
+    for tuple_size in TUPLE_SIZES:
+        for threads in SENDER_THREADS:
+            m = measure_combiner_bandwidth(tuple_size, threads,
+                                           total_bytes=3 << 20)
+            results[(tuple_size, threads)] = m.bytes_per_ns
+    return results
+
+
+def test_fig9_combiner(benchmark, report):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table = Table("fig9",
+                  "Combiner flow (SUM, 8:1) aggregated sender bandwidth",
+                  ["tuple size", "1 thread", "2 threads", "4 threads"])
+    for tuple_size in TUPLE_SIZES:
+        table.add_row(f"{tuple_size} B",
+                      *(format_gib_s(results[(tuple_size, t)])
+                        for t in SENDER_THREADS))
+    table.note(f"target in-going link: {LINK * SECONDS / GIB:.2f} GiB/s "
+               "(the natural bottleneck; SHARP-style in-network "
+               "aggregation is the paper's future work)")
+    report(table)
+    # Saturation at the target's in-link for >= 2 threads, larger tuples.
+    assert results[(1024, 2)] > 0.8 * LINK
+    assert results[(1024, 4)] > 0.8 * LINK
+    # Never above the in-link: the combiner target has one port.
+    for bandwidth in results.values():
+        assert bandwidth < 1.05 * LINK

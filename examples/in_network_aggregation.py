@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""In-network aggregation (SHARP) — the paper's future-work extension.
+
+Runs the same distributed SUM twice: once as a plain combiner flow (the
+paper's Fig. 9 setup, capped by the target's in-going link) and once with
+the reduction inside the switch. Prints both bandwidths and the switch's
+data-reduction factor.
+
+Run:  python examples/in_network_aggregation.py
+"""
+
+from repro import AggregationSpec, Cluster, DfiRuntime, FlowOptions, Schema
+from repro.common.units import GIB, SECONDS, gbps_to_bytes_per_ns
+
+SCHEMA = Schema(("group", "uint64"), ("value", "int64"))
+SENDER_NODES = 8
+THREADS = 4
+TUPLES_PER_SOURCE = 20_000
+
+
+def run(in_network: bool):
+    cluster = Cluster(node_count=SENDER_NODES + 1)
+    dfi = DfiRuntime(cluster)
+    sources = [f"node{i + 1}|{t}" for i in range(SENDER_NODES)
+               for t in range(THREADS)]
+    dfi.init_combiner_flow(
+        "agg", sources=sources, target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec("sum", "group", "value"),
+        options=FlowOptions(in_network_aggregation=in_network))
+    window = {"start": None, "end": None}
+    final = {}
+    holder = {}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("agg", index)
+        if window["start"] is None:
+            window["start"] = cluster.now
+        for i in range(TUPLES_PER_SOURCE):
+            yield from source.push((i % 32, 1))
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("agg")
+        holder["target"] = target
+        result = yield from target.consume_all()
+        final.update(result)
+        window["end"] = cluster.now
+
+    for index in range(len(sources)):
+        cluster.env.process(source_thread(index))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    payload = len(sources) * TUPLES_PER_SOURCE * SCHEMA.tuple_size
+    bandwidth = payload / (window["end"] - window["start"])
+    return bandwidth, final, holder["target"]
+
+
+def main() -> None:
+    link = gbps_to_bytes_per_ns(100.0)
+    expected = {g: SENDER_NODES * THREADS * TUPLES_PER_SOURCE // 32
+                for g in range(32)}
+
+    print(f"distributed SUM over {SENDER_NODES}x{THREADS} sender threads, "
+          f"{TUPLES_PER_SOURCE:,} tuples each\n")
+    bw_host, result_host, _target = run(in_network=False)
+    assert result_host == expected
+    print(f"end-host combiner (paper Fig. 9): "
+          f"{bw_host * SECONDS / GIB:6.2f} GiB/s "
+          f"(target in-link: {link * SECONDS / GIB:.2f} GiB/s)")
+
+    bw_sharp, result_sharp, target = run(in_network=True)
+    assert result_sharp == expected
+    stats = target.switch_stats
+    print(f"in-network (SHARP) combiner:      "
+          f"{bw_sharp * SECONDS / GIB:6.2f} GiB/s "
+          f"({bw_sharp / bw_host:.1f}x)")
+    print(f"switch reduction: {stats['bytes_in']:,} B in -> "
+          f"{stats['bytes_out']:,} B out "
+          f"({stats['reduction']:.0f}x less inbound traffic at the target)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the offline environment ships a setuptools without
+the wheel package, so `pip install -e .` falls back to this file."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — a full reproduction of *DFI: The Data Flow Interface for
+High-Speed Networks* (Thostrup et al., SIGMOD 2021).
+
+The package layers:
+
+* :mod:`repro.simnet` — deterministic discrete-event network simulator
+  (the InfiniBand-EDR-testbed substitute);
+* :mod:`repro.rdma` — RDMA verbs on the simulator (memory regions, RC/UD
+  queue pairs, one-sided write/read/atomics, multicast);
+* :mod:`repro.mpi` — the MPI baseline the paper compares against;
+* :mod:`repro.core` — DFI itself: shuffle, replicate and combiner flows;
+* :mod:`repro.apps` — the paper's use cases (distributed joins, consensus)
+  and perftest-style baselines;
+* :mod:`repro.workloads` — YCSB and synthetic table generators;
+* :mod:`repro.bench` — the harness regenerating each paper figure.
+
+Quickstart: see ``examples/quickstart.py`` and the README.
+"""
+
+from repro.common import HardwareProfile, MpiProfile
+from repro.core import (
+    FLOW_END,
+    AggregationSpec,
+    DfiRuntime,
+    Endpoint,
+    FlowDescriptor,
+    FlowOptions,
+    FlowRegistry,
+    FlowType,
+    GapNotification,
+    Optimization,
+    Ordering,
+    Schema,
+)
+from repro.simnet import Cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "HardwareProfile",
+    "MpiProfile",
+    "DfiRuntime",
+    "FlowRegistry",
+    "FlowDescriptor",
+    "FlowOptions",
+    "FlowType",
+    "Optimization",
+    "Ordering",
+    "AggregationSpec",
+    "GapNotification",
+    "Schema",
+    "Endpoint",
+    "FLOW_END",
+    "__version__",
+]

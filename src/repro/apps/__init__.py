@@ -1,0 +1,1 @@
+"""Use-case applications built on DFI, plus their baselines."""

@@ -1,0 +1,16 @@
+"""State-machine replication use case (paper Section 6.3.2):
+Multi-Paxos and NOPaxos on DFI flows, and the DARE baseline on raw verbs."""
+
+from repro.apps.consensus.dare import run_dare
+from repro.apps.consensus.driver import ConsensusResult
+from repro.apps.consensus.kvstore import KvStore
+from repro.apps.consensus.multipaxos import run_multipaxos
+from repro.apps.consensus.nopaxos import run_nopaxos
+
+__all__ = [
+    "run_multipaxos",
+    "run_nopaxos",
+    "run_dare",
+    "ConsensusResult",
+    "KvStore",
+]

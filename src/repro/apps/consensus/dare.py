@@ -1,0 +1,216 @@
+"""DARE (Poke & Hoefler, HPDC '15): the hand-crafted RDMA SMR baseline.
+
+Implemented directly on the raw verbs layer, with the two structural
+properties the paper identifies as DARE's bottlenecks (Section 6.3.2):
+
+1. **one outstanding request per client** — a client cannot submit a new
+   request before the previous one completed, so offered load beyond the
+   closed-loop limit queues at the client;
+2. **serialized write protocol** — the leader's protocol engine processes
+   one batch at a time; it batches *consecutive* requests of the same
+   type, so the 95/5 read/write mix of YCSB-B constantly interrupts read
+   batches with write batches, each of which blocks the pipeline for a
+   one-sided replication round to a majority of follower logs.
+
+Cost calibration: DARE's client library and leader protocol engine carry
+per-request software costs (polling epochs, state-machine bookkeeping)
+that our flow-based implementations do not. The constants below are set so
+the *relative* unloaded latency and saturation point against the DFI
+implementations match the factors in the paper's Fig. 15.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.apps.consensus import messages
+from repro.apps.consensus.driver import (
+    ConsensusResult,
+    ConsensusSetup,
+    LatencyTracker,
+    LoadGenerator,
+)
+from repro.apps.consensus.kvstore import APPLY_COST_NS, KvStore
+from repro.rdma.completion import CompletionQueue
+from repro.rdma.nic import get_nic
+from repro.simnet.cluster import Cluster
+from repro.simnet.sync import Store
+
+#: Serialized leader protocol-engine cost per request.
+_LEADER_ENGINE_COST = 1_800.0
+#: Client library cost per request (UD send path + response handling).
+_CLIENT_OVERHEAD = 2_000.0
+#: Largest run of same-type requests processed as one batch.
+_MAX_BATCH = 32
+#: Size of one replicated log entry.
+_LOG_ENTRY_BYTES = 64
+#: Follower log region size (circular).
+_LOG_REGION_BYTES = 1 << 20
+
+
+def run_dare(cluster: Cluster,
+             setup: ConsensusSetup = ConsensusSetup()) -> ConsensusResult:
+    """Run the DARE baseline under the Fig. 15 workload."""
+    tracker = LatencyTracker(setup)
+    env = cluster.env
+    store = KvStore()
+    leader_node = cluster.node(setup.leader_node)
+    leader_nic = get_nic(leader_node)
+    follower_nodes = [cluster.node(n) for n in setup.follower_nodes]
+    majority = setup.majority_votes  # follower log writes to wait for
+
+    # Follower logs: registered regions the leader writes one-sidedly.
+    follower_logs = [get_nic(node).register_memory(_LOG_REGION_BYTES)
+                     for node in follower_nodes]
+    follower_qps = [leader_nic.create_qp(node) for node in follower_nodes]
+    log_offset = [0]
+
+    # Client <-> leader queue pairs (shared leader receive CQ).
+    leader_recv_cq = CompletionQueue(env, "dare-leader-rcq")
+    client_qps = []
+    for index in range(setup.clients):
+        client_node = cluster.node(setup.client_node(index))
+        client_nic = get_nic(client_node)
+        to_leader = client_nic.create_qp(leader_node)
+        from_leader = leader_nic.create_qp(client_node,
+                                           recv_cq=leader_recv_cq)
+        to_leader.connect(from_leader)
+        client_qps.append((to_leader, from_leader))
+
+    # Pre-posted receive buffers.
+    leader_rx = leader_nic.register_memory(
+        setup.clients * 64 * messages.REQUEST_SCHEMA.tuple_size)
+    for index in range(setup.clients):
+        _to_leader, from_leader = client_qps[index]
+        base = index * 64 * messages.REQUEST_SCHEMA.tuple_size
+        for slot in range(64):
+            from_leader.post_recv(
+                leader_rx, base + slot * messages.REQUEST_SCHEMA.tuple_size,
+                messages.REQUEST_SCHEMA.tuple_size, wr_id=index)
+
+    pending: deque[tuple] = deque()
+    wake = Store(env)
+
+    def leader_receiver(env):
+        """Pull client requests off the wire into the protocol queue."""
+        done_clients = 0
+        while done_clients < setup.clients:
+            completion = yield leader_recv_cq.wait()
+            region, offset, _length = completion.result
+            request = messages.REQUEST_SCHEMA.unpack_from(region.mem,
+                                                          offset)
+            client_index = completion.wr_id
+            _to_leader, from_leader = client_qps[client_index]
+            from_leader.post_recv(region, offset,
+                                  messages.REQUEST_SCHEMA.tuple_size,
+                                  wr_id=client_index)
+            if request[0] == 2 ** 48 - 1:  # shutdown sentinel
+                done_clients += 1
+                continue
+            pending.append(request)
+            yield wake.put(None)
+
+    def wait_majority(work_requests, needed: int):
+        """Generator: wait until ``needed`` of the posted log writes
+        completed (DARE commits on a majority of remote log writes)."""
+        remaining = [wr.done for wr in work_requests
+                     if not wr.done.triggered]
+        completed = len(work_requests) - len(remaining)
+        while completed < needed and remaining:
+            index, _value = yield env.any_of(remaining)
+            remaining.pop(index)
+            completed += 1
+
+    def leader_engine(env):
+        """The serialized protocol engine: one same-type batch at a time."""
+        served = 0
+        while True:
+            if not pending:
+                yield wake.get()
+                continue
+            batch_op = pending[0][2]
+            batch = []
+            while (pending and pending[0][2] == batch_op
+                   and len(batch) < _MAX_BATCH):
+                batch.append(pending.popleft())
+            yield leader_node.compute(_LEADER_ENGINE_COST * len(batch))
+            if batch_op == messages.OP_UPDATE:
+                # Replicate the log entries one-sidedly; commit on majority.
+                entry_bytes = b"".join(
+                    messages.REQUEST_SCHEMA.pack(request)
+                    for request in batch).ljust(
+                        _LOG_ENTRY_BYTES * len(batch), b"\x00")
+                offset = log_offset[0]
+                log_offset[0] = (offset + len(entry_bytes)) % (
+                    _LOG_REGION_BYTES - _LOG_ENTRY_BYTES * _MAX_BATCH)
+                writes = [qp.post_write(entry_bytes, log.rkey, offset,
+                                        signaled=True)
+                          for qp, log in zip(follower_qps, follower_logs)]
+                yield from wait_majority(writes, majority)
+            for request in batch:
+                reqid, client, op, key, value = request
+                yield leader_node.compute(APPLY_COST_NS)
+                result = store.apply(op, key, value)
+                _to_leader, from_leader = client_qps[client]
+                response = messages.RESPONSE_SCHEMA.pack(
+                    (reqid, client, 0, result))
+                from_leader.post_send(response, signaled=False)
+                served += 1
+
+    def client_proc(index: int):
+        """Closed-loop DARE client fed by an open-loop arrival process."""
+        generator = LoadGenerator(setup, index)
+        to_leader, _from_leader = client_qps[index]
+        client_nic = get_nic(cluster.node(setup.client_node(index)))
+        rx = client_nic.register_memory(
+            4 * messages.RESPONSE_SCHEMA.tuple_size)
+        for slot in range(4):
+            to_leader.post_recv(rx,
+                                slot * messages.RESPONSE_SCHEMA.tuple_size,
+                                messages.RESPONSE_SCHEMA.tuple_size)
+        sequence = 0
+        backlog: deque[tuple] = deque()
+        next_arrival = generator.next_arrival()
+        while next_arrival is not None or backlog:
+            if not backlog:
+                if next_arrival > env.now:
+                    yield env.timeout(next_arrival - env.now)
+                operation = generator.next_operation()
+                backlog.append((next_arrival, operation))
+                next_arrival = generator.next_arrival()
+            scheduled_at, operation = backlog.popleft()
+            reqid = messages.make_reqid(index, sequence)
+            sequence += 1
+            tracker.issue(reqid, scheduled_at)
+            yield cluster.node(setup.client_node(index)).compute(
+                _CLIENT_OVERHEAD)
+            value = operation.value.ljust(messages.VALUE_BYTES, b"\x00")
+            to_leader.post_send(messages.REQUEST_SCHEMA.pack(
+                (reqid, index,
+                 int(operation.op.value == "update"),
+                 operation.key, value)), signaled=False)
+            # One outstanding request: block until the response arrives.
+            completion = yield to_leader.recv_cq.wait()
+            region, offset, _length = completion.result
+            response = messages.RESPONSE_SCHEMA.unpack_from(region.mem,
+                                                            offset)
+            to_leader.post_recv(region, offset,
+                                messages.RESPONSE_SCHEMA.tuple_size)
+            tracker.complete(response[0], env.now)
+            # Drain arrivals that queued while we were blocked.
+            while (next_arrival is not None and next_arrival <= env.now):
+                operation = generator.next_operation()
+                backlog.append((next_arrival, operation))
+                next_arrival = generator.next_arrival()
+        # Tell the leader we are done (lets the receiver terminate).
+        to_leader.post_send(messages.REQUEST_SCHEMA.pack(
+            (2 ** 48 - 1, index, 0, 0, b"\x00" * messages.VALUE_BYTES)),
+            signaled=False)
+
+    env.process(leader_receiver(env), name="dare-leader-recv")
+    engine = env.process(leader_engine(env), name="dare-leader-engine")
+    for index in range(setup.clients):
+        env.process(client_proc(index), name=f"dare-client-{index}")
+    cluster.run()
+    del engine  # blocked on an empty queue once all clients finished
+    return tracker.result("dare")

@@ -1,0 +1,32 @@
+"""The replicated key-value store state machine."""
+
+from __future__ import annotations
+
+from repro.apps.consensus.messages import OP_READ, OP_UPDATE, VALUE_BYTES
+
+#: CPU cost of applying one operation to the state machine.
+APPLY_COST_NS = 150.0
+
+
+class KvStore:
+    """In-memory KV state machine: the application replicated by all
+    three consensus implementations."""
+
+    def __init__(self) -> None:
+        self._data: dict[int, bytes] = {}
+        self.reads = 0
+        self.updates = 0
+
+    def apply(self, op: int, key: int, value: bytes) -> bytes:
+        """Apply one operation; returns the (old or read) value."""
+        if op == OP_READ:
+            self.reads += 1
+            return self._data.get(key, b"\x00" * VALUE_BYTES)
+        if op == OP_UPDATE:
+            self.updates += 1
+            self._data[key] = bytes(value)
+            return value
+        raise ValueError(f"unknown operation code {op}")
+
+    def __len__(self) -> int:
+        return len(self._data)

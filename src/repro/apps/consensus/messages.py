@@ -1,0 +1,51 @@
+"""Wire schemas of the consensus protocols.
+
+Client requests are 64 bytes, matching the paper's Fig. 15 workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.schema import Schema
+
+#: Size of the opaque value carried by requests/responses.
+VALUE_BYTES = 32
+
+#: Operation codes.
+OP_READ = 0
+OP_UPDATE = 1
+
+#: Gap-agreement decisions.
+DECISION_NOOP = 0
+DECISION_OP = 1
+
+#: Client -> leader / OUM group: 64-byte request.
+REQUEST_SCHEMA = Schema(
+    ("reqid", "uint64"), ("client", "uint64"), ("op", "uint64"),
+    ("key", "uint64"), ("value", VALUE_BYTES))
+
+#: Leader -> followers proposal (request plus its log slot).
+PROPOSAL_SCHEMA = Schema(
+    ("slot", "uint64"), ("reqid", "uint64"), ("client", "uint64"),
+    ("op", "uint64"), ("key", "uint64"), ("value", VALUE_BYTES))
+
+#: Follower -> leader vote.
+VOTE_SCHEMA = Schema(("slot", "uint64"), ("follower", "uint64"))
+
+#: Replica -> client response. ``role`` 0 = leader result, 1 = follower ack.
+RESPONSE_SCHEMA = Schema(
+    ("reqid", "uint64"), ("client", "uint64"), ("role", "uint64"),
+    ("value", VALUE_BYTES))
+
+#: Follower -> leader gap query (NOPaxos gap agreement).
+GAP_REQ_SCHEMA = Schema(("seq", "uint64"), ("replica", "uint64"))
+
+#: Leader -> followers gap decision: NO-OP or the recovered request.
+GAP_RESP_SCHEMA = Schema(
+    ("seq", "uint64"), ("decision", "uint64"), ("reqid", "uint64"),
+    ("client", "uint64"), ("op", "uint64"), ("key", "uint64"),
+    ("value", VALUE_BYTES))
+
+
+def make_reqid(client_index: int, sequence: int) -> int:
+    """Globally unique request id: client index in the upper 16 bits."""
+    return (client_index << 48) | sequence

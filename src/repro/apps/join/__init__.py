@@ -1,0 +1,15 @@
+"""Distributed joins (paper Section 6.3.1): the DFI radix hash join, the
+MPI radix join baseline of Barthels et al., and the fragment-and-replicate
+variant enabled by swapping in a replicate flow."""
+
+from repro.apps.join.dfi_radix import run_dfi_radix_join
+from repro.apps.join.mpi_radix import run_mpi_radix_join
+from repro.apps.join.replicate_join import run_dfi_replicate_join
+from repro.apps.join.result import JoinResult
+
+__all__ = [
+    "run_dfi_radix_join",
+    "run_mpi_radix_join",
+    "run_dfi_replicate_join",
+    "JoinResult",
+]

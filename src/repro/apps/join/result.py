@@ -1,0 +1,37 @@
+"""Join execution results and phase accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class JoinResult:
+    """Outcome of one distributed join execution.
+
+    ``phases`` maps phase name to the mean duration (ns) across workers —
+    the quantity behind the stacked bars of the paper's Figures 13/14.
+    ``runtime`` is the wall-clock makespan (slowest worker).
+    """
+
+    matches: int
+    runtime: float
+    workers: int
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def phase_table(self) -> str:
+        """Human-readable phase breakdown."""
+        lines = [f"  {name:<24} {duration / 1e6:9.3f} ms"
+                 for name, duration in self.phases.items()]
+        lines.append(f"  {'total (makespan)':<24} {self.runtime / 1e6:9.3f} ms")
+        return "\n".join(lines)
+
+
+def average_phases(per_worker: list[dict[str, float]]) -> dict[str, float]:
+    """Average per-worker phase durations (order-preserving)."""
+    if not per_worker:
+        return {}
+    phases: dict[str, float] = {}
+    for name in per_worker[0]:
+        phases[name] = sum(worker[name] for worker in per_worker) / len(per_worker)
+    return phases

@@ -1,0 +1,5 @@
+"""Raw-verbs performance baselines (the role of linux-rdma/perftest)."""
+
+from repro.apps.perftest.perftest import ib_write_bw, ib_write_lat
+
+__all__ = ["ib_write_lat", "ib_write_bw"]

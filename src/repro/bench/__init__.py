@@ -1,0 +1,7 @@
+"""Benchmark harness regenerating every table and figure of the paper's
+evaluation (Section 6). One module per measurement family; the pytest
+entry points live in ``benchmarks/``."""
+
+from repro.bench.reporting import Table, format_gib_s, format_us
+
+__all__ = ["Table", "format_gib_s", "format_us"]

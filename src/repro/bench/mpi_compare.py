@@ -1,0 +1,227 @@
+"""Measurement routines for Experiment 2: DFI vs. MPI (Figs. 10-12)."""
+
+from __future__ import annotations
+
+from repro.common.config import HardwareProfile
+from repro.core import (
+    FLOW_END,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Optimization,
+    Schema,
+)
+from repro.mpi import Communicator, MpiRuntime, ThreadingLevel
+from repro.simnet import Cluster
+
+
+def _schema(tuple_size: int) -> Schema:
+    return Schema(("key", "uint64"), ("pad", tuple_size - 8)) \
+        if tuple_size > 8 else Schema(("key", "uint64"))
+
+
+# -- Fig. 10a/10b: point-to-point transfer of a fixed table ---------------------
+
+def dfi_p2p_runtime(tuple_size: int, table_bytes: int, threads: int = 1,
+                    optimization: Optimization = Optimization.BANDWIDTH,
+                    ) -> float:
+    """Transfer ``table_bytes`` node0 -> node1 through a DFI shuffle flow
+    with ``threads`` sender threads; returns the runtime in ns."""
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    schema = _schema(tuple_size)
+    sources = [Endpoint(0, t) for t in range(threads)]
+    targets = [Endpoint(1, t) for t in range(threads)]
+    options = FlowOptions(segment_size=max(8192, tuple_size),
+                          source_segments=8, target_segments=16,
+                          credit_threshold=8)
+    dfi.init_shuffle_flow("p2p", sources, targets, schema,
+                          shuffle_key="key", optimization=optimization,
+                          options=options)
+    per_source = table_bytes // tuple_size // threads
+    pad = b"x" * (tuple_size - 8)
+    done = {"t": 0.0}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("p2p", index)
+        for i in range(per_source):
+            yield from source.push((i, pad))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("p2p", index)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                done["t"] = max(done["t"], cluster.now)
+                return
+
+    for t in range(threads):
+        cluster.env.process(source_thread(t))
+        cluster.env.process(target_thread(t))
+    cluster.run()
+    return done["t"]
+
+
+def mpi_p2p_runtime(tuple_size: int, table_bytes: int, threads: int = 1,
+                    multiprocess: bool = False) -> float:
+    """Transfer ``table_bytes`` node0 -> node1 with per-tuple MPI
+    Send/Recv. ``threads`` sender threads share one rank
+    (MPI_THREAD_MULTIPLE) unless ``multiprocess`` gives each its own rank.
+    Returns the runtime in ns."""
+    cluster = Cluster(node_count=2)
+    if multiprocess:
+        runtime = MpiRuntime(cluster, ranks_per_node=threads)
+        pairs = [(w, threads + w) for w in range(threads)]
+    else:
+        level = (ThreadingLevel.MULTIPLE if threads > 1
+                 else ThreadingLevel.SINGLE)
+        runtime = MpiRuntime(cluster, ranks_per_node=1, threading=level)
+        pairs = [(0, 1)] * threads
+    per_thread = table_bytes // tuple_size // threads
+    done = {"t": 0.0}
+
+    def sender(comm, dest):
+        for i in range(per_thread):
+            yield from comm.send(dest, i, size=tuple_size)
+
+    def receiver(comm, expected):
+        for _ in range(expected):
+            yield from comm.recv()
+        done["t"] = max(done["t"], cluster.now)
+
+    if multiprocess:
+        for send_rank, recv_rank in pairs:
+            cluster.env.process(sender(Communicator(runtime, send_rank),
+                                       recv_rank))
+            cluster.env.process(receiver(Communicator(runtime, recv_rank),
+                                         per_thread))
+    else:
+        comm0 = Communicator(runtime, 0)
+        for _send_rank, _recv_rank in pairs:
+            cluster.env.process(sender(comm0, 1))
+        cluster.env.process(receiver(Communicator(runtime, 1),
+                                     per_thread * threads))
+    cluster.run()
+    return done["t"]
+
+
+# -- Fig. 11: pipelined (streaming) shuffling, 8:8 -----------------------------
+
+def mpi_alltoall_pipelined_runtime(tuple_size: int, table_bytes: int,
+                                   nodes: int = 8,
+                                   mini_batch_tuples: int = 8) -> float:
+    """Shuffle a table with one MPI_Alltoall call per mini-batch of
+    ``mini_batch_tuples`` tuples (the paper's streaming-MPI setup);
+    returns the runtime in ns."""
+    cluster = Cluster(node_count=nodes)
+    runtime = MpiRuntime(cluster, ranks_per_node=1)
+    per_rank = table_bytes // tuple_size // nodes
+    calls = per_rank // mini_batch_tuples
+    chunk_size = max(1, mini_batch_tuples // nodes) * tuple_size
+    done = {"t": 0.0}
+
+    def rank_proc(rank):
+        comm = Communicator(runtime, rank)
+        for _ in range(calls):
+            chunks = [(None, chunk_size) for _ in range(nodes)]
+            yield from comm.alltoall(chunks)
+        done["t"] = max(done["t"], cluster.now)
+
+    for rank in range(nodes):
+        cluster.env.process(rank_proc(rank))
+    cluster.run()
+    return done["t"]
+
+
+def dfi_shuffle_88_runtime(tuple_size: int, table_bytes: int,
+                           nodes: int = 8,
+                           profile: HardwareProfile = HardwareProfile(),
+                           segment_size: int = 8192) -> float:
+    """Shuffle a table through an 8:8 DFI flow, one thread per node,
+    scanning and pushing tuple-wise; returns the runtime in ns."""
+    cluster = Cluster(node_count=nodes, profile=profile)
+    dfi = DfiRuntime(cluster)
+    schema = _schema(tuple_size)
+    endpoints = [Endpoint(n, 0) for n in range(nodes)]
+    options = FlowOptions(segment_size=max(segment_size, tuple_size),
+                          source_segments=8, target_segments=16,
+                          credit_threshold=8)
+    dfi.init_shuffle_flow("f11", endpoints, endpoints, schema,
+                          shuffle_key="key", options=options)
+    per_rank = table_bytes // tuple_size // nodes
+    pad = b"x" * (tuple_size - 8)
+    done = {"t": 0.0}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("f11", index)
+        for i in range(per_rank):
+            yield from source.push((i * nodes + index, pad))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("f11", index)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                done["t"] = max(done["t"], cluster.now)
+                return
+
+    for index in range(nodes):
+        cluster.env.process(source_thread(index))
+        cluster.env.process(target_thread(index))
+    cluster.run()
+    return done["t"]
+
+
+# -- Fig. 12: batched collective shuffling with a straggler -------------------
+
+#: Per-tuple cost of the scan + local pre-partition pass feeding the
+#: batched MPI_Alltoall (matching the DFI push-path per-tuple cost).
+_SCAN_COST_PER_TUPLE = 16.0
+
+
+def mpi_alltoall_batched_runtime(table_bytes: int, nodes: int = 8,
+                                 tuple_size: int = 64,
+                                 straggler_scale: float = 1.0) -> float:
+    """Fig. 12's MPI side: every rank first scans and pre-partitions its
+    whole table locally, then a single bulk-synchronous MPI_Alltoall moves
+    the data. A straggler (CPU scale < 1 on the last node) delays the
+    collective for everyone; returns the runtime in ns."""
+    profile = HardwareProfile()
+    if straggler_scale != 1.0:
+        profile = profile.with_straggler(nodes - 1, straggler_scale)
+    cluster = Cluster(node_count=nodes, profile=profile)
+    runtime = MpiRuntime(cluster, ranks_per_node=1)
+    per_rank = table_bytes // tuple_size // nodes
+    chunk_bytes = per_rank * tuple_size // nodes
+    done = {"t": 0.0}
+
+    def rank_proc(rank):
+        comm = Communicator(runtime, rank)
+        # Local scan + pre-partition on the shuffle key (CPU-bound, runs
+        # at the node's frequency — the straggler takes twice as long).
+        yield comm.node.compute(per_rank * _SCAN_COST_PER_TUPLE)
+        chunks = [(None, chunk_bytes) for _ in range(nodes)]
+        yield from comm.alltoall(chunks)
+        done["t"] = max(done["t"], cluster.now)
+
+    for rank in range(nodes):
+        cluster.env.process(rank_proc(rank))
+    cluster.run()
+    return done["t"]
+
+
+def dfi_shuffle_straggler_runtime(table_bytes: int, nodes: int = 8,
+                                  tuple_size: int = 64,
+                                  straggler_scale: float = 1.0,
+                                  segment_size: int = 8192) -> float:
+    """Fig. 12's DFI side: the same shuffle, but tuples stream into the
+    flow *while* the scan runs, so transfer hides behind the straggler's
+    slow scan instead of waiting for it; returns the runtime in ns."""
+    profile = HardwareProfile()
+    if straggler_scale != 1.0:
+        profile = profile.with_straggler(nodes - 1, straggler_scale)
+    return dfi_shuffle_88_runtime(tuple_size, table_bytes, nodes=nodes,
+                                  profile=profile,
+                                  segment_size=segment_size)

@@ -1,0 +1,79 @@
+"""Result tables for the benchmark harness.
+
+Every bench prints the same rows/series the paper's figure shows, plus the
+paper's qualitative expectation, so EXPERIMENTS.md can be assembled from
+the bench output directly.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.common.units import GIB, SECONDS
+
+#: Directory where benches persist their tables.
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))))),
+    "benchmarks", "results")
+
+
+def format_gib_s(bytes_per_ns: float) -> str:
+    return f"{bytes_per_ns * SECONDS / GIB:8.2f} GiB/s"
+
+
+def format_us(ns: float) -> str:
+    return f"{ns / 1e3:8.2f} us"
+
+
+@dataclass
+class Table:
+    """A printable result table for one experiment."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns")
+        self.rows.append(list(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        widths = [len(col) for col in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            cells = [str(cell) for cell in row]
+            widths = [max(w, len(c)) for w, c in zip(widths, cells)]
+            rendered_rows.append(cells)
+        header = " | ".join(col.ljust(w)
+                            for col, w in zip(self.columns, widths))
+        divider = "-+-".join("-" * w for w in widths)
+        lines = [f"== {self.experiment}: {self.title} ==", header, divider]
+        for cells in rendered_rows:
+            lines.append(" | ".join(c.ljust(w)
+                                    for c, w in zip(cells, widths)))
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+    def save(self) -> str:
+        """Persist under benchmarks/results/<experiment>.txt; returns
+        the path."""
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{self.experiment}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.render() + "\n")
+        return path
+
+    def emit(self) -> str:
+        """Save and return the rendered table (callers print it)."""
+        self.save()
+        return self.render()

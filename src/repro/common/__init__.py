@@ -1,0 +1,52 @@
+"""Shared utilities: units, errors, configuration, deterministic RNG."""
+
+from repro.common.config import HardwareProfile, MpiProfile
+from repro.common.errors import (
+    ConfigurationError,
+    FlowClosedError,
+    FlowError,
+    ReproError,
+    RdmaError,
+    RegistryError,
+    SchemaError,
+    SimulationError,
+)
+from repro.common.units import (
+    GIB,
+    GBPS,
+    KIB,
+    MIB,
+    MICROSECONDS,
+    MILLISECONDS,
+    NANOSECONDS,
+    SECONDS,
+    bandwidth_gib_per_s,
+    format_bytes,
+    format_time,
+    gbps_to_bytes_per_ns,
+)
+
+__all__ = [
+    "HardwareProfile",
+    "MpiProfile",
+    "ReproError",
+    "SimulationError",
+    "RdmaError",
+    "FlowError",
+    "FlowClosedError",
+    "RegistryError",
+    "SchemaError",
+    "ConfigurationError",
+    "KIB",
+    "MIB",
+    "GIB",
+    "GBPS",
+    "NANOSECONDS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "SECONDS",
+    "gbps_to_bytes_per_ns",
+    "bandwidth_gib_per_s",
+    "format_bytes",
+    "format_time",
+]

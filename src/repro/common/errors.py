@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+applications can catch library failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid configuration value or inconsistent setup."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation kernel."""
+
+
+class RdmaError(ReproError):
+    """Errors raised by the RDMA verbs layer (bad keys, QP state, ...)."""
+
+
+class MemoryRegionError(RdmaError):
+    """Out-of-bounds access or invalid remote key on a memory region."""
+
+
+class QpStateError(RdmaError):
+    """Operation not valid in the queue pair's current state."""
+
+
+class FlowError(ReproError):
+    """Errors raised by the DFI flow layer."""
+
+
+class FlowClosedError(FlowError):
+    """Push into (or misuse of) a flow that has already been closed."""
+
+
+class FlowAbortedError(FlowError):
+    """A source aborted the flow; raised from the targets' consume path
+    (the fault-tolerance extension — paper Section 7 future work)."""
+
+
+class SchemaError(FlowError):
+    """Tuple does not match the flow schema, or invalid schema definition."""
+
+
+class RegistryError(FlowError):
+    """Flow registry lookup/initialization failures (unknown or duplicate
+    flow names, source/target index out of range, ...)."""
+
+
+class MpiError(ReproError):
+    """Errors raised by the MPI baseline runtime."""

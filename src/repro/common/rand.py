@@ -1,0 +1,58 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the simulator (backoff jitter, multicast loss,
+workload generators) draws from a stream derived from a single experiment
+seed, so complete runs are bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+def derive_rng(seed: int, *scope: object) -> random.Random:
+    """Return a :class:`random.Random` seeded from ``seed`` and a scope tag.
+
+    The scope tuple (e.g. ``("backoff", node_id, thread_id)``) keeps the
+    streams of independent components decorrelated while staying
+    deterministic for a fixed experiment seed.
+    """
+    return random.Random((seed, *[str(part) for part in scope]).__repr__())
+
+
+class ZipfGenerator:
+    """Zipfian integer generator over ``[0, item_count)``.
+
+    Implements the Gray et al. rejection-free method used by YCSB so the
+    key-popularity skew matches the original workload generator.
+    """
+
+    def __init__(self, item_count: int, theta: float = 0.99,
+                 rng: random.Random | None = None) -> None:
+        if item_count <= 0:
+            raise ValueError("item_count must be positive")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self._items = item_count
+        self._theta = theta
+        self._rng = rng if rng is not None else random.Random(0)
+        self._zetan = self._zeta(item_count, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        zeta2 = self._zeta(2, theta)
+        self._eta = ((1 - (2.0 / item_count) ** (1 - theta))
+                     / (1 - zeta2 / self._zetan))
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        """Draw the next zipf-distributed item index."""
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self._theta:
+            return 1
+        return int(self._items
+                   * (self._eta * u - self._eta + 1) ** self._alpha)

@@ -1,0 +1,60 @@
+"""Unit constants and conversion helpers.
+
+The simulator clock counts **nanoseconds** (as floats). All sizes are in
+bytes. Bandwidths are stored as bytes per nanosecond, which conveniently
+equals gigabytes per second (1 B/ns == 1 GB/s).
+"""
+
+from __future__ import annotations
+
+# -- sizes (bytes) -----------------------------------------------------------
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+# -- time (nanoseconds) ------------------------------------------------------
+NANOSECONDS = 1.0
+MICROSECONDS = 1_000.0
+MILLISECONDS = 1_000_000.0
+SECONDS = 1_000_000_000.0
+
+# -- bandwidth ---------------------------------------------------------------
+#: One Gbps expressed in bytes per nanosecond (= 0.125 B/ns).
+GBPS = 1e9 / 8 / SECONDS
+
+
+def gbps_to_bytes_per_ns(gbps: float) -> float:
+    """Convert a link speed in gigabits per second to bytes per nanosecond."""
+    return gbps * GBPS
+
+
+def bandwidth_gib_per_s(num_bytes: float, elapsed_ns: float) -> float:
+    """Return the achieved bandwidth in GiB/s for a transfer of
+    ``num_bytes`` bytes over ``elapsed_ns`` nanoseconds."""
+    if elapsed_ns <= 0:
+        raise ValueError(f"elapsed time must be positive, got {elapsed_ns}")
+    bytes_per_second = num_bytes / (elapsed_ns / SECONDS)
+    return bytes_per_second / GIB
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count, e.g. ``'8.0 KiB'``."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_time(ns: float) -> str:
+    """Human-readable duration from nanoseconds, e.g. ``'12.5 us'``."""
+    if ns < MICROSECONDS:
+        return f"{ns:.0f} ns"
+    if ns < MILLISECONDS:
+        return f"{ns / MICROSECONDS:.2f} us"
+    if ns < SECONDS:
+        return f"{ns / MILLISECONDS:.2f} ms"
+    return f"{ns / SECONDS:.3f} s"

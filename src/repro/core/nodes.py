@@ -1,0 +1,72 @@
+"""Flow endpoint descriptors.
+
+The paper identifies source/target threads as ``"<address>|<thread id>"``
+strings (``DFI_Nodes n({"192.168.0.1|0", ...})``). We keep that notation but
+resolve addresses to simulator node ids: ``"node3|1"`` or ``"3|1"`` both
+mean thread 1 on cluster node 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """One flow endpoint: a (node, thread) pair."""
+
+    node_id: int
+    thread_id: int
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0 or self.thread_id < 0:
+            raise ConfigurationError(
+                f"endpoint ids must be non-negative: {self}")
+
+    @classmethod
+    def parse(cls, spec: "Endpoint | str | tuple[int, int]") -> "Endpoint":
+        """Parse an endpoint from ``'node3|1'``, ``'3|1'``, ``(3, 1)`` or an
+        existing :class:`Endpoint`."""
+        if isinstance(spec, Endpoint):
+            return spec
+        if isinstance(spec, tuple) and len(spec) == 2:
+            return cls(int(spec[0]), int(spec[1]))
+        if isinstance(spec, str):
+            address, sep, thread = spec.partition("|")
+            if not sep:
+                raise ConfigurationError(
+                    f"endpoint spec {spec!r} must look like 'node3|1'")
+            address = address.strip()
+            if address.startswith("node"):
+                address = address[len("node"):]
+            try:
+                return cls(int(address), int(thread))
+            except ValueError:
+                raise ConfigurationError(
+                    f"cannot parse endpoint spec {spec!r}") from None
+        raise ConfigurationError(f"cannot parse endpoint spec {spec!r}")
+
+    def __str__(self) -> str:
+        return f"node{self.node_id}|{self.thread_id}"
+
+
+def parse_endpoints(specs) -> tuple[Endpoint, ...]:
+    """Parse a sequence of endpoint specs, rejecting duplicates."""
+    endpoints = tuple(Endpoint.parse(spec) for spec in specs)
+    if len(set(endpoints)) != len(endpoints):
+        raise ConfigurationError(f"duplicate endpoints in {list(specs)!r}")
+    return endpoints
+
+
+def endpoints_on(node_count: int, threads_per_node: int,
+                 nodes: "list[int] | None" = None) -> list[Endpoint]:
+    """Convenience builder: ``threads_per_node`` endpoints on each node.
+
+    ``nodes`` restricts to a subset of node ids (defaults to all).
+    """
+    node_ids = list(range(node_count)) if nodes is None else nodes
+    return [Endpoint(node_id, thread_id)
+            for node_id in node_ids
+            for thread_id in range(threads_per_node)]

@@ -1,0 +1,95 @@
+"""Target-side reordering for globally-ordered replicate flows.
+
+Implements the receive-list / next-list scheme of the paper's Figure 6:
+segments arrive in any order (UD multicast is unordered and unreliable);
+the *receive list* holds them in arrival order, consume calls move segments
+into the *next list* kept sorted by sequence number, and segments are
+returned strictly in sequence. Gaps (missing sequence numbers) are exposed
+so the flow can either request a retransmission or notify the application
+(NOPaxos' gap agreement).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.common.errors import FlowError
+
+
+class ReorderBuffer:
+    """In-order delivery over an out-of-order arrival stream.
+
+    ``insert`` corresponds to a segment landing in the receive list;
+    ``pop_ready`` performs the consume-call logic of Figure 6: drain the
+    receive list into the sorted next list, then return the head if its
+    sequence number is the next expected one.
+    """
+
+    def __init__(self) -> None:
+        self._receive_list: deque[tuple[int, Any]] = deque()
+        self._next_list: list[tuple[int, Any]] = []
+        self._next_expected = 0
+        #: Duplicate segments discarded (late retransmissions).
+        self.duplicates_dropped = 0
+
+    @property
+    def next_expected(self) -> int:
+        """The sequence number the next in-order delivery must carry."""
+        return self._next_expected
+
+    @property
+    def pending(self) -> int:
+        """Segments held out-of-order (both lists)."""
+        return len(self._receive_list) + len(self._next_list)
+
+    def insert(self, seq: int, payload: Any) -> bool:
+        """Record an arrived segment. Returns False for duplicates."""
+        if seq < self._next_expected or any(
+                s == seq for s, _p in self._receive_list) or any(
+                s == seq for s, _p in self._next_list):
+            self.duplicates_dropped += 1
+            return False
+        self._receive_list.append((seq, payload))
+        return True
+
+    def pop_ready(self) -> "tuple[int, Any] | None":
+        """Return the next in-sequence ``(seq, payload)`` or ``None``."""
+        # Move arrivals into the next list, keeping it sorted (Figure 6's
+        # pointer moves; no payload copies happen here either).
+        while self._receive_list:
+            entry = self._receive_list.popleft()
+            self._insert_sorted(entry)
+        if self._next_list and self._next_list[0][0] == self._next_expected:
+            self._next_expected += 1
+            return self._next_list.pop(0)
+        return None
+
+    def _insert_sorted(self, entry: tuple[int, Any]) -> None:
+        seq = entry[0]
+        position = len(self._next_list)
+        for i, (existing, _p) in enumerate(self._next_list):
+            if seq < existing:
+                position = i
+                break
+        self._next_list.insert(position, entry)
+
+    def missing_seq(self) -> "int | None":
+        """The lowest missing sequence number blocking delivery, if any
+        segment beyond it has already arrived."""
+        if self._receive_list:
+            # Not yet sorted; drain first for an accurate answer.
+            while self._receive_list:
+                self._insert_sorted(self._receive_list.popleft())
+        if self._next_list and self._next_list[0][0] > self._next_expected:
+            return self._next_expected
+        return None
+
+    def skip(self, seq: int) -> None:
+        """Give up on sequence number ``seq`` (application-level gap
+        handling): delivery continues after it."""
+        if seq != self._next_expected:
+            raise FlowError(
+                f"can only skip the next expected sequence number "
+                f"({self._next_expected}), not {seq}")
+        self._next_expected += 1

@@ -1,0 +1,827 @@
+"""Replicate flows (paper Sections 4.2.2 and 5.4).
+
+A replicate flow sends every tuple to *all* targets. Two transports:
+
+* **naive** (one-sided): the source writes the segment once per target —
+  N copies share the source uplink, which becomes the bottleneck the paper
+  measures in Fig. 8a;
+* **multicast**: one UD datagram per segment, replicated inside the switch
+  (Fig. 8b shows the aggregate receive bandwidth sailing past the sender's
+  link speed). UD is unreliable, so segments carry sequence numbers,
+  targets pre-populate receive queues under a credit scheme, report
+  consumed counts and NACK missing sequence numbers through a one-sided
+  back-flow into the source's control region, and sources retransmit from a
+  bounded history buffer.
+
+Globally-ordered replicate flows additionally stamp every segment with a
+sequence number drawn from the *tuple sequencer* — an RDMA fetch-and-add on
+a counter hosted by the registry master — and targets deliver strictly in
+that order via the receive-list/next-list reorder buffer (Fig. 6). In
+``gap_notify`` mode a timed-out gap is surfaced to the application as a
+:class:`~repro.core.flowdef.GapNotification` instead of being NACKed —
+the hook NOPaxos' gap agreement builds on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.common.errors import FlowAbortedError, FlowClosedError, FlowError
+from repro.core.flowdef import (
+    FLOW_END,
+    FlowDescriptor,
+    FlowType,
+    GapNotification,
+    Optimization,
+    Ordering,
+)
+from repro.core.ordering import ReorderBuffer
+from repro.core.registry import FlowRegistry
+from repro.core.segment import (
+    FLAG_ABORTED,
+    FLAG_CLOSED,
+    FLAG_CONSUMABLE,
+    FOOTER_SIZE,
+    pack_footer,
+    unpack_footer,
+)
+from repro.core.shuffle import ShuffleTarget, _RingWriteWaiter
+from repro.core.writers import CreditRingWriter, FooterRingWriter
+from repro.rdma.nic import get_nic
+from repro.rdma.qp import UD_MTU
+
+
+@dataclass(frozen=True)
+class ControlHandle:
+    """Remote handle of a source's control region: per-target credit and
+    NACK slots written one-sidedly by targets."""
+
+    node_id: int
+    rkey: int
+    credit_offset: int
+    nack_offset: int
+
+
+class SeqTracker:
+    """Per-source sequence bookkeeping for *unordered* multicast delivery:
+    duplicate filtering, contiguity, and lowest-missing detection."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._ahead: set[int] = set()
+        self.duplicates_dropped = 0
+
+    @property
+    def contiguous(self) -> int:
+        """All sequence numbers below this value have been processed."""
+        return self._next
+
+    @property
+    def delivered(self) -> int:
+        """Total unique segments processed (contiguous or not)."""
+        return self._next + len(self._ahead)
+
+    def add(self, seq: int) -> bool:
+        """Record ``seq``; returns False for duplicates."""
+        if seq < self._next or seq in self._ahead:
+            self.duplicates_dropped += 1
+            return False
+        if seq == self._next:
+            self._next += 1
+            while self._next in self._ahead:
+                self._ahead.discard(self._next)
+                self._next += 1
+        else:
+            self._ahead.add(seq)
+        return True
+
+    def missing(self) -> "int | None":
+        """Lowest missing sequence number, if later ones already arrived."""
+        return self._next if self._ahead else None
+
+    def skip(self, seq: int) -> None:
+        """Give up on ``seq`` (application-level gap handling)."""
+        if seq != self._next:
+            raise FlowError(
+                f"can only skip the lowest missing sequence number "
+                f"({self._next}), not {seq}")
+        self._next += 1
+        while self._next in self._ahead:
+            self._ahead.discard(self._next)
+            self._next += 1
+
+
+class TupleSequencer:
+    """Source-side client of the global tuple sequencer: one RDMA
+    fetch-and-add per segment (paper Section 5.4)."""
+
+    def __init__(self, registry: FlowRegistry, name: str, node) -> None:
+        self._handle = registry.sequencer(name)
+        self._qp = get_nic(node).create_qp(
+            registry.cluster.node(self._handle.node_id))
+
+    def next(self):
+        """Generator: draw the next global sequence number."""
+        wr = self._qp.post_fetch_add(self._handle.rkey, self._handle.offset,
+                                     1, signaled=False)
+        seq = yield wr.done
+        return seq
+
+
+def _replicate_payload_size(descriptor: FlowDescriptor) -> int:
+    """Segment payload for a replicate flow (MTU-capped when multicast)."""
+    if descriptor.optimization is Optimization.LATENCY:
+        payload = descriptor.schema.tuple_size
+    else:
+        payload = descriptor.options.segment_size
+    if descriptor.options.multicast:
+        limit = UD_MTU - FOOTER_SIZE
+        if descriptor.schema.tuple_size > limit:
+            raise FlowError(
+                f"tuple size {descriptor.schema.tuple_size} exceeds the UD "
+                f"multicast payload limit ({limit} B)")
+        payload = min(payload, limit)
+    if payload < descriptor.schema.tuple_size:
+        raise FlowError(
+            f"segment payload {payload} smaller than one tuple "
+            f"({descriptor.schema.tuple_size} B)")
+    return payload
+
+
+def _check_replicate(descriptor: FlowDescriptor, index: int,
+                     count: int, kind: str) -> None:
+    if descriptor.flow_type is not FlowType.REPLICATE:
+        raise FlowError(
+            f"flow {descriptor.name!r} is a {descriptor.flow_type.value} "
+            f"flow, not replicate")
+    if not 0 <= index < count:
+        raise FlowError(f"{kind} index {index} out of range [0, {count})")
+
+
+class _StagingBuffer:
+    """Shared staging segment for replicate sources: tuples are packed once
+    and the finished slot is fanned out by the transport."""
+
+    def __init__(self, descriptor: FlowDescriptor, payload_size: int) -> None:
+        self.schema = descriptor.schema
+        self.payload_size = payload_size
+        self._buffer = bytearray(payload_size)
+        self.used = 0
+
+    def append(self, values: tuple) -> None:
+        self.schema.pack_into(self._buffer, self.used, values)
+        self.used += self.schema.tuple_size
+
+    @property
+    def full(self) -> bool:
+        return self.used + self.schema.tuple_size > self.payload_size
+
+    def take(self) -> bytes:
+        payload = bytes(self._buffer[:self.used])
+        self.used = 0
+        return payload
+
+
+class NaiveReplicateSource:
+    """Replicate source using one one-sided write per target."""
+
+    def __init__(self, registry: FlowRegistry, descriptor: FlowDescriptor,
+                 source_index: int, writers: list,
+                 sequencer: "TupleSequencer | None") -> None:
+        self.registry = registry
+        self.descriptor = descriptor
+        self.source_index = source_index
+        self.node = registry.cluster.node(
+            descriptor.sources[source_index].node_id)
+        self.profile = self.node.cluster.profile
+        self._writers = writers
+        self._sequencer = sequencer
+        self._payload_size = _replicate_payload_size(descriptor)
+        self._staging = _StagingBuffer(descriptor, self._payload_size)
+        self._latency = descriptor.optimization is Optimization.LATENCY
+        self._cpu_debt = 0.0
+        self._local_seq = 0
+        self.segments_sent = 0
+        self.tuples_sent = 0
+        self.closed = False
+
+    @classmethod
+    def open(cls, registry: FlowRegistry, name: str, source_index: int):
+        """Generator: open a naive replicate source endpoint."""
+        descriptor = registry.descriptor(name)
+        _check_replicate(descriptor, source_index, descriptor.source_count,
+                         "source")
+        node = registry.cluster.node(
+            descriptor.sources[source_index].node_id)
+        latency = descriptor.optimization is Optimization.LATENCY
+        writers = []
+        for target_index in range(descriptor.target_count):
+            handle = yield from registry.wait_ring(name, source_index,
+                                                   target_index)
+            tag = (name, source_index, target_index)
+            if latency:
+                writers.append(CreditRingWriter(
+                    node, handle, tag,
+                    descriptor.options.credit_threshold))
+            else:
+                writers.append(FooterRingWriter(node, handle, tag))
+        sequencer = None
+        if descriptor.ordering is Ordering.GLOBAL:
+            sequencer = TupleSequencer(registry, name, node)
+        return cls(registry, descriptor, source_index, writers, sequencer)
+
+    def push(self, values: tuple):
+        """Generator: replicate one tuple to all targets."""
+        if self.closed:
+            raise FlowClosedError("push on a closed replicate source")
+        self._staging.append(values)
+        self.tuples_sent += 1
+        self._cpu_debt += (self.profile.cpu_tuple_overhead
+                           + self.descriptor.schema.tuple_size
+                           * self.profile.cpu_copy_per_byte)
+        if self._latency or self._staging.full:
+            yield from self._flush(0)
+
+    def close(self):
+        """Generator: flush, send the close marker, and wait for acks."""
+        if self.closed:
+            return
+        work_requests = yield from self._flush(FLAG_CLOSED)
+        self.closed = True
+        for wr in work_requests:
+            if not wr.done.triggered:
+                yield wr.done
+
+    def abort(self):
+        """Generator: abort the flow on every target (staged tuples are
+        dropped; targets raise FlowAbortedError)."""
+        if self.closed:
+            return
+        self._staging.take()  # discard staged tuples
+        work_requests = yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
+        self.closed = True
+        for wr in work_requests:
+            if not wr.done.triggered:
+                yield wr.done
+
+    def _flush(self, extra_flags: int):
+        debt = (self._cpu_debt
+                + self.profile.cpu_post_cost * len(self._writers))
+        self._cpu_debt = 0.0
+        yield self.node.compute(debt)
+        if self._sequencer is not None:
+            seq = yield from self._sequencer.next()
+        else:
+            seq = self._local_seq
+            self._local_seq += 1
+        payload = self._staging.take()
+        flags = FLAG_CONSUMABLE | extra_flags
+        work_requests = []
+        for writer in self._writers:
+            wr = yield from writer.write_segment(payload, flags, seq,
+                                                 self.source_index)
+            work_requests.append(wr)
+        self.segments_sent += 1
+        return work_requests
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._payload_size + FOOTER_SIZE  # one staging slot
+
+
+class NaiveReplicateTarget(ShuffleTarget):
+    """Replicate target over per-source one-sided rings.
+
+    Unordered mode behaves like a shuffle target (arrival order). Globally
+    ordered mode feeds polled segments through the reorder buffer so all
+    targets observe the same delivery order.
+    """
+
+    _allowed_flow_types = (FlowType.REPLICATE,)
+
+    def __init__(self, registry, descriptor, target_index, channels) -> None:
+        super().__init__(registry, descriptor, target_index, channels)
+        self._ordered = descriptor.ordering is Ordering.GLOBAL
+        self._reorder = ReorderBuffer() if self._ordered else None
+
+    def _scan(self) -> bool:
+        if not self._ordered:
+            return super()._scan()
+        progressed = False
+        for channel in self._channels:
+            while True:
+                polled = channel.poll()
+                if polled is None:
+                    break
+                footer, tuples = polled
+                self._reorder.insert(footer.seq, tuples)
+                progressed = True
+        while True:
+            ready = self._reorder.pop_ready()
+            if ready is None:
+                break
+            _seq, tuples = ready
+            self._buffer.extend(tuples)
+        return progressed
+
+    def _finished(self) -> bool:
+        done = all(channel.done for channel in self._channels)
+        if not self._ordered:
+            return done
+        return done and self._reorder.pending == 0
+
+
+class MulticastReplicateSource:
+    """Replicate source over switch multicast with credit/NACK back-flow."""
+
+    #: Control-region layout: 16 bytes per target (credit u64, nack u64).
+    _CONTROL_STRIDE = 16
+
+    def __init__(self, registry: FlowRegistry, descriptor: FlowDescriptor,
+                 source_index: int, control_region, ud_qp,
+                 sequencer: "TupleSequencer | None") -> None:
+        self.registry = registry
+        self.descriptor = descriptor
+        self.source_index = source_index
+        self.node = registry.cluster.node(
+            descriptor.sources[source_index].node_id)
+        self.env = self.node.env
+        self.profile = self.node.cluster.profile
+        self._control = control_region
+        self._ud_qp = ud_qp
+        self._group = registry.multicast_group(descriptor.name)
+        self._sequencer = sequencer
+        self._payload_size = _replicate_payload_size(descriptor)
+        self._staging = _StagingBuffer(descriptor, self._payload_size)
+        self._latency = descriptor.optimization is Optimization.LATENCY
+        self._window = descriptor.options.target_segments
+        self._retransmit: dict[int, bytes] = {}
+        self._retransmit_order: deque[int] = deque()
+        self._waiter = _RingWriteWaiter(self.env, [control_region])
+        self._cpu_debt = 0.0
+        self._local_seq = 0
+        self._close_slot: "bytes | None" = None
+        self.segments_sent = 0
+        self.tuples_sent = 0
+        self.retransmissions = 0
+        self.closed = False
+
+    @classmethod
+    def open(cls, registry: FlowRegistry, name: str, source_index: int):
+        """Generator: open a multicast replicate source endpoint; blocks
+        until every target joined the multicast group."""
+        descriptor = registry.descriptor(name)
+        _check_replicate(descriptor, source_index, descriptor.source_count,
+                         "source")
+        node = registry.cluster.node(
+            descriptor.sources[source_index].node_id)
+        nic = get_nic(node)
+        control = nic.register_memory(
+            cls._CONTROL_STRIDE * descriptor.target_count)
+        for target_index in range(descriptor.target_count):
+            registry.publish_backchannel(
+                name, source_index, target_index,
+                ControlHandle(
+                    node_id=node.node_id, rkey=control.rkey,
+                    credit_offset=cls._CONTROL_STRIDE * target_index,
+                    nack_offset=cls._CONTROL_STRIDE * target_index + 8))
+        ud_qp = nic.create_ud_qp()
+        sequencer = None
+        if descriptor.ordering is Ordering.GLOBAL:
+            sequencer = TupleSequencer(registry, name, node)
+        yield from registry.wait_all_targets(name)
+        return cls(registry, descriptor, source_index, control, ud_qp,
+                   sequencer)
+
+    # -- credit / NACK bookkeeping -----------------------------------------
+    def _min_credit(self) -> int:
+        return min(self._control.read_u64(self._CONTROL_STRIDE * t)
+                   for t in range(self.descriptor.target_count))
+
+    def _service_nacks(self) -> None:
+        for target in range(self.descriptor.target_count):
+            offset = self._CONTROL_STRIDE * target + 8
+            value = self._control.read_u64(offset)
+            if not value:
+                continue
+            seq = value - 1
+            slot = self._retransmit.get(seq)
+            if slot is not None:
+                self._ud_qp.post_send_multicast(self._group, slot)
+                self.retransmissions += 1
+            # Clear the NACK slot directly (our own memory; a hook-free
+            # write so we do not wake ourselves).
+            self._control.mem[offset:offset + 8] = b"\x00" * 8
+
+    def _remember(self, seq: int, slot: bytes) -> None:
+        self._retransmit[seq] = slot
+        self._retransmit_order.append(seq)
+        while len(self._retransmit_order) > self.descriptor.options.retransmit_buffer:
+            evicted = self._retransmit_order.popleft()
+            self._retransmit.pop(evicted, None)
+
+    def _wait_credit(self):
+        if self.descriptor.options.gap_notify:
+            # OUM semantics (NOPaxos): the library gives no delivery
+            # guarantee and applies no flow control — a receiver that
+            # cannot keep up drops datagrams, which surface as gaps for
+            # the application's gap agreement. A lost segment would
+            # otherwise hole the credit count forever.
+            return
+        while self.segments_sent - self._min_credit() >= self._window:
+            self._service_nacks()
+            event = self._waiter.arm()
+            if self.segments_sent - self._min_credit() < self._window:
+                self._waiter.disarm()
+                return
+            yield self.env.any_of([
+                event,
+                self.env.timeout(self.descriptor.options.retransmit_timeout),
+            ])
+            self._waiter.disarm()
+
+    # -- push / close --------------------------------------------------------
+    def push(self, values: tuple):
+        """Generator: replicate one tuple through the switch."""
+        if self.closed:
+            raise FlowClosedError("push on a closed replicate source")
+        self._staging.append(values)
+        self.tuples_sent += 1
+        self._cpu_debt += (self.profile.cpu_tuple_overhead
+                           + self.descriptor.schema.tuple_size
+                           * self.profile.cpu_copy_per_byte)
+        if self._latency or self._staging.full:
+            yield from self._flush(0)
+
+    def close(self):
+        """Generator: flush, send the close marker, then stay responsive
+        (retransmissions) until every target confirmed full consumption."""
+        if self.closed:
+            return
+        yield from self._flush(FLAG_CLOSED)
+        if self.descriptor.options.gap_notify:
+            # The application owns loss recovery in gap_notify mode, and
+            # skipped segments never bump credits — waiting for full
+            # consumption could block forever. Re-send the close marker a
+            # few times against loss and return.
+            for _ in range(3):
+                yield self.env.timeout(
+                    self.descriptor.options.retransmit_timeout)
+                if self._min_credit() >= self.segments_sent:
+                    break
+                self._ud_qp.post_send_multicast(self._group,
+                                                self._close_slot)
+                self.retransmissions += 1
+            self.closed = True
+            return
+        total = self.segments_sent
+        resend_deadline = (self.env.now
+                           + self.descriptor.options.retransmit_timeout)
+        while self._min_credit() < total:
+            self._service_nacks()
+            event = self._waiter.arm()
+            if self._min_credit() >= total:
+                self._waiter.disarm()
+                break
+            yield self.env.any_of([
+                event,
+                self.env.timeout(self.descriptor.options.retransmit_timeout),
+            ])
+            self._waiter.disarm()
+            if (self.env.now >= resend_deadline
+                    and self._close_slot is not None):
+                # The close marker itself may have been lost; it is the only
+                # segment no later traffic can expose, so resend it until
+                # every target has caught up.
+                self._ud_qp.post_send_multicast(self._group,
+                                                self._close_slot)
+                self.retransmissions += 1
+                resend_deadline = (self.env.now + self.descriptor.options
+                                   .retransmit_timeout)
+        self.closed = True
+
+    def abort(self):
+        """Generator: abort the flow — the marker is re-multicast a few
+        times against loss, then the source stops (no delivery guarantee
+        survives an abort)."""
+        if self.closed:
+            return
+        self._staging.take()  # discard staged tuples
+        yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
+        abort_slot = self._retransmit[self.segments_sent - 1]
+        for _ in range(3):
+            yield self.env.timeout(
+                self.descriptor.options.retransmit_timeout)
+            self._ud_qp.post_send_multicast(self._group, abort_slot)
+            self.retransmissions += 1
+        self.closed = True
+
+    def _flush(self, extra_flags: int):
+        debt = self._cpu_debt + self.profile.cpu_post_cost
+        self._cpu_debt = 0.0
+        yield self.node.compute(debt)
+        if self._sequencer is not None:
+            seq = yield from self._sequencer.next()
+        else:
+            seq = self._local_seq
+            self._local_seq += 1
+        # UD datagrams carry their length, so the footer rides directly
+        # after the used payload — no padding to the segment size.
+        payload = self._staging.take()
+        slot = payload + pack_footer(len(payload),
+                                     FLAG_CONSUMABLE | extra_flags, seq,
+                                     self.source_index)
+        yield from self._wait_credit()
+        self._remember(seq, slot)
+        if extra_flags & FLAG_CLOSED:
+            self._close_slot = slot
+        self._ud_qp.post_send_multicast(self._group, slot)
+        self.segments_sent += 1
+        self._service_nacks()
+
+    @property
+    def memory_bytes(self) -> int:
+        return (self._payload_size + FOOTER_SIZE
+                + self._control.size)
+
+
+class MulticastReplicateTarget:
+    """Replicate target receiving switch-replicated UD datagrams."""
+
+    def __init__(self, registry: FlowRegistry, descriptor: FlowDescriptor,
+                 target_index: int, ud_qp, ring_region, slot_size: int,
+                 control_qps: list, control_handles: list) -> None:
+        self.registry = registry
+        self.descriptor = descriptor
+        self.target_index = target_index
+        self.node = registry.cluster.node(
+            descriptor.targets[target_index].node_id)
+        self.env = self.node.env
+        self._ud_qp = ud_qp
+        self._ring = ring_region
+        self._slot_size = slot_size
+        self._payload_size = slot_size - FOOTER_SIZE
+        self._control_qps = control_qps
+        self._control_handles = control_handles
+        self._ordered = descriptor.ordering is Ordering.GLOBAL
+        self._gap_notify = descriptor.options.gap_notify
+        self._reorder = ReorderBuffer() if self._ordered else None
+        self._trackers = [SeqTracker()
+                          for _ in range(descriptor.source_count)]
+        self._consumed = [0] * descriptor.source_count
+        self._close_seq: list[int | None] = [None] * descriptor.source_count
+        self._closed_delivered = 0
+        self._ready: deque = deque()
+        self._gap_deadlines: dict = {}
+        self._gap_pending: "GapNotification | None" = None
+        self._aborted = False
+        self._waiter = _RingWriteWaiter(self.env, [ring_region])
+        self.tuples_received = 0
+
+    @classmethod
+    def open(cls, registry: FlowRegistry, name: str, target_index: int):
+        """Generator: open a multicast replicate target endpoint — joins
+        the group, pre-populates the receive queue, wires the back-flow."""
+        descriptor = registry.descriptor(name)
+        _check_replicate(descriptor, target_index, descriptor.target_count,
+                         "target")
+        node = registry.cluster.node(
+            descriptor.targets[target_index].node_id)
+        nic = get_nic(node)
+        payload = _replicate_payload_size(descriptor)
+        slot_size = payload + FOOTER_SIZE
+        segments = descriptor.options.target_segments
+        ring_region = nic.register_memory(segments * slot_size)
+        ud_qp = nic.create_ud_qp()
+        for slot in range(segments):
+            ud_qp.post_recv(ring_region, slot * slot_size, slot_size)
+        control_qps = []
+        control_handles = []
+        for source_index in range(descriptor.source_count):
+            handle = yield from registry.wait_backchannel(
+                name, source_index, target_index)
+            control_qps.append(nic.create_qp(
+                registry.cluster.node(handle.node_id)))
+            control_handles.append(handle)
+        group = registry.multicast_group(name)
+        group.join(ud_qp)
+        registry.mark_target_ready(name, target_index)
+        return cls(registry, descriptor, target_index, ud_qp, ring_region,
+                   slot_size, control_qps, control_handles)
+
+    # -- receive processing --------------------------------------------------
+    def _pump(self) -> None:
+        schema = self.descriptor.schema
+        while True:
+            completions = self._ud_qp.recv_cq.poll(max_entries=64)
+            if not completions:
+                break
+            for wc in completions:
+                region, offset, length = wc.result
+                footer = unpack_footer(
+                    region.view(offset + length - FOOTER_SIZE, FOOTER_SIZE))
+                count = footer.used // schema.tuple_size
+                tuples = (schema.unpack_many(
+                    region.view(offset, footer.used), count)
+                    if count else [])
+                # Free the slot for the next datagram right away: the
+                # payload has been decoded out of the ring.
+                self._ud_qp.post_recv(region, offset, self._slot_size)
+                self._accept(footer, tuples)
+        if self._ordered:
+            self._drain_reorder()
+        self._check_gaps()
+
+    def _accept(self, footer, tuples) -> None:
+        if footer.aborted:
+            # Aborts bypass ordering: the flow is void immediately.
+            self._aborted = True
+            return
+        # Credits are granted at parse time — the moment the receive slot
+        # is reposted — so the credit window tracks receive-queue capacity
+        # (its purpose) rather than application consumption, which may
+        # stall behind a gap in ordered mode.
+        source = footer.source_index
+        if self._ordered:
+            if self._reorder.insert(footer.seq,
+                                    (source, footer.closed, tuples)):
+                self._bump_credit(source)
+            return
+        tracker = self._trackers[source]
+        if not tracker.add(footer.seq):
+            return  # duplicate (late retransmission)
+        self._bump_credit(source)
+        if footer.closed:
+            self._close_seq[source] = footer.seq
+        self._ready.extend(tuples)
+        self.tuples_received += len(tuples)
+
+    def _drain_reorder(self) -> None:
+        while True:
+            ready = self._reorder.pop_ready()
+            if ready is None:
+                return
+            _seq, (_source, closed, tuples) = ready
+            if closed:
+                self._closed_delivered += 1
+            self._ready.extend(tuples)
+            self.tuples_received += len(tuples)
+
+    def _bump_credit(self, source: int) -> None:
+        self._consumed[source] += 1
+        handle = self._control_handles[source]
+        self._control_qps[source].post_write(
+            self._consumed[source].to_bytes(8, "little"),
+            handle.rkey, handle.credit_offset, signaled=False)
+
+    # -- gap detection -------------------------------------------------------
+    def _current_gaps(self) -> list[tuple]:
+        if self._ordered:
+            missing = self._reorder.missing_seq()
+            return [("global", missing)] if missing is not None else []
+        gaps = []
+        for source, tracker in enumerate(self._trackers):
+            missing = tracker.missing()
+            if missing is not None:
+                gaps.append((source, missing))
+        return gaps
+
+    def _check_gaps(self) -> None:
+        now = self.env.now
+        gaps = self._current_gaps()
+        live_keys = set()
+        for key in gaps:
+            live_keys.add(key)
+            deadline = self._gap_deadlines.get(key)
+            if deadline is None:
+                self._gap_deadlines[key] = (
+                    now + self.descriptor.options.retransmit_timeout)
+            elif now >= deadline:
+                self._handle_gap_timeout(key)
+                self._gap_deadlines[key] = (
+                    now + self.descriptor.options.retransmit_timeout)
+        for key in list(self._gap_deadlines):
+            if key not in live_keys:
+                del self._gap_deadlines[key]
+
+    def _handle_gap_timeout(self, key: tuple) -> None:
+        scope, missing = key
+        if self._gap_notify:
+            source = None if scope == "global" else scope
+            self._gap_pending = GapNotification(missing, source)
+            return
+        # NACK the missing sequence number into the source's control region
+        # (for globally ordered flows the owner is unknown, so every source
+        # is notified; non-owners ignore it).
+        targets = (range(self.descriptor.source_count)
+                   if scope == "global" else [scope])
+        for source in targets:
+            handle = self._control_handles[source]
+            self._control_qps[source].post_write(
+                (missing + 1).to_bytes(8, "little"),
+                handle.rkey, handle.nack_offset, signaled=False)
+
+    # -- consume ---------------------------------------------------------
+    def consume(self):
+        """Generator: next tuple, a :class:`GapNotification` (gap_notify
+        mode), or :data:`FLOW_END`."""
+        if self._ready:
+            return self._ready.popleft()
+        while True:
+            event = self._waiter.arm()
+            self._pump()
+            if self._aborted:
+                self._waiter.disarm()
+                raise FlowAbortedError(
+                    f"flow {self.descriptor.name!r} was aborted by a "
+                    f"source")
+            if self._ready:
+                self._waiter.disarm()
+                return self._ready.popleft()
+            if self._gap_pending is not None:
+                self._waiter.disarm()
+                pending = self._gap_pending
+                self._gap_pending = None
+                return pending
+            if self._finished():
+                self._waiter.disarm()
+                return FLOW_END
+            if self._gap_deadlines:
+                yield self.env.any_of([
+                    event,
+                    self.env.timeout(
+                        self.descriptor.options.retransmit_timeout),
+                ])
+            else:
+                yield event
+            self._waiter.disarm()
+            yield self.node.compute(
+                self.node.cluster.profile.cpu_poll_cost)
+
+    def _finished(self) -> bool:
+        if self._ready:
+            return False
+        if self._ordered:
+            return (self._closed_delivered == self.descriptor.source_count
+                    and self._reorder.pending == 0)
+        for source, tracker in enumerate(self._trackers):
+            close_seq = self._close_seq[source]
+            if close_seq is None or tracker.contiguous <= close_seq:
+                return False
+        return True
+
+    @property
+    def next_expected_seq(self) -> "int | None":
+        """Next global sequence number awaited (ordered flows only)."""
+        return self._reorder.next_expected if self._ordered else None
+
+    def skip_gap(self, seq: int, source_index: "int | None" = None) -> None:
+        """Give up on sequence number ``seq`` after application-level gap
+        agreement (``gap_notify`` mode). Unordered flows identify the
+        source via ``source_index`` (as carried by the notification)."""
+        if self._ordered:
+            self._reorder.skip(seq)
+            self._gap_deadlines.pop(("global", seq), None)
+            return
+        if source_index is None:
+            raise FlowError(
+                "unordered flows need the source_index of the gap")
+        self._trackers[source_index].skip(seq)
+        self._gap_deadlines.pop((source_index, seq), None)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._ring.size
+
+
+class ReplicateSource:
+    """Factory facade: opens the transport matching the flow options."""
+
+    @staticmethod
+    def open(registry: FlowRegistry, name: str, source_index: int):
+        """Generator: open a replicate source endpoint."""
+        descriptor = registry.descriptor(name)
+        if descriptor.options.multicast:
+            endpoint = yield from MulticastReplicateSource.open(
+                registry, name, source_index)
+        else:
+            endpoint = yield from NaiveReplicateSource.open(
+                registry, name, source_index)
+        return endpoint
+
+
+class ReplicateTarget:
+    """Factory facade: opens the transport matching the flow options."""
+
+    @staticmethod
+    def open(registry: FlowRegistry, name: str, target_index: int):
+        """Generator: open a replicate target endpoint."""
+        descriptor = registry.descriptor(name)
+        if descriptor.options.multicast:
+            endpoint = yield from MulticastReplicateTarget.open(
+                registry, name, target_index)
+        else:
+            endpoint = NaiveReplicateTarget.open(registry, name,
+                                                 target_index)
+        return endpoint

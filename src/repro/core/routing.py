@@ -1,0 +1,94 @@
+"""Tuple routing for shuffle flows (paper Section 4.2.1).
+
+Three ways to route a tuple to a target:
+
+1. a *shuffle key*: DFI hashes the key field (default);
+2. a *routing function* supplied by the application — e.g. the radix hash
+   partitioning used by the distributed radix join, or range partitioning;
+3. *direct* routing: the application names the target index on each push.
+
+All of them resolve to a target index in ``[0, target_count)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.common.errors import FlowError
+from repro.core.schema import Schema
+
+#: A routing function maps (tuple, target_count) -> target index.
+RoutingFunction = Callable[[tuple, int], int]
+
+
+def _fibonacci_hash_u64(value: int) -> int:
+    """Cheap 64-bit mixer (Fibonacci hashing) for key-based shuffling.
+
+    The product's *high* half is returned: the low bits of ``key * odd``
+    depend only on the key's low bits, which would make power-of-two
+    modulo partitioning degenerate for structured keys.
+    """
+    return (((value & (2 ** 64 - 1)) * 0x9E3779B97F4A7C15)
+            & (2 ** 64 - 1)) >> 32
+
+
+def key_hash_router(schema: Schema, key: "str | int") -> RoutingFunction:
+    """The default router: hash the key field, modulo the target count."""
+    index = schema.field_index(key)
+
+    def route(values: tuple, target_count: int) -> int:
+        key_value = values[index]
+        if isinstance(key_value, int):
+            return _fibonacci_hash_u64(key_value) % target_count
+        return hash(key_value) % target_count
+
+    return route
+
+
+def radix_router(schema: Schema, key: "str | int", bits: int,
+                 shift: int = 0) -> RoutingFunction:
+    """Radix partitioning: route on ``bits`` bits of the key after
+    ``shift`` — the partition function of the distributed radix join."""
+    if bits <= 0:
+        raise FlowError("radix router needs a positive number of bits")
+    index = schema.field_index(key)
+    mask = (1 << bits) - 1
+
+    def route(values: tuple, target_count: int) -> int:
+        return ((values[index] >> shift) & mask) % target_count
+
+    return route
+
+
+def range_router(schema: Schema, key: "str | int",
+                 boundaries: list[int]) -> RoutingFunction:
+    """Range partitioning: target *i* receives keys < ``boundaries[i]``;
+    the last target receives the rest. Boundaries must be sorted."""
+    if sorted(boundaries) != list(boundaries):
+        raise FlowError("range boundaries must be sorted ascending")
+    index = schema.field_index(key)
+
+    def route(values: tuple, target_count: int) -> int:
+        if target_count != len(boundaries) + 1:
+            raise FlowError(
+                f"range router built for {len(boundaries) + 1} targets, "
+                f"flow has {target_count}")
+        key_value = values[index]
+        for i, bound in enumerate(boundaries):
+            if key_value < bound:
+                return i
+        return len(boundaries)
+
+    return route
+
+
+def round_robin_router() -> RoutingFunction:
+    """Stateful round-robin distribution (ignores tuple contents)."""
+    state = {"next": 0}
+
+    def route(_values: tuple, target_count: int) -> int:
+        target = state["next"] % target_count
+        state["next"] = target + 1
+        return target
+
+    return route

@@ -1,0 +1,148 @@
+"""Flow schemas: named, fixed-offset tuple layouts.
+
+A :class:`Schema` is declared once at flow initialization (mirroring
+``DFI_Schema({"key", int}, {"value", int})`` from the paper's Figure 1) and
+compiled to a ``struct.Struct`` — packing, unpacking and key extraction all
+run on precomputed offsets with zero per-tuple type interpretation.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.common.errors import SchemaError
+from repro.core.types import DataType, resolve_type
+
+
+@dataclass(frozen=True)
+class Field:
+    """One schema column: a name, a type, and its byte offset."""
+
+    name: str
+    dtype: DataType
+    offset: int
+
+
+class Schema:
+    """An ordered set of typed fields defining the wire layout of a tuple.
+
+    Example::
+
+        schema = Schema(("key", "uint64"), ("value", "uint64"))
+        raw = schema.pack((1, 20))
+        assert schema.unpack(raw) == (1, 20)
+    """
+
+    def __init__(self, *fields: tuple[str, "DataType | str | int"]) -> None:
+        if not fields:
+            raise SchemaError("a schema needs at least one field")
+        resolved: list[Field] = []
+        seen: set[str] = set()
+        offset = 0
+        for entry in fields:
+            try:
+                name, spec = entry
+            except (TypeError, ValueError):
+                raise SchemaError(
+                    f"schema field must be a (name, type) pair, got {entry!r}"
+                ) from None
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"field name must be a non-empty string, "
+                                  f"got {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate field name {name!r}")
+            seen.add(name)
+            dtype = resolve_type(spec)
+            resolved.append(Field(name, dtype, offset))
+            offset += dtype.size
+        self._fields = tuple(resolved)
+        self._index = {field.name: i for i, field in enumerate(resolved)}
+        self._struct = struct.Struct(
+            "<" + "".join(field.dtype.code for field in resolved))
+        if self._struct.size != offset:
+            raise AssertionError("packed size does not match field offsets")
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def tuple_size(self) -> int:
+        """Packed size of one tuple in bytes."""
+        return self._struct.size
+
+    @property
+    def arity(self) -> int:
+        return len(self._fields)
+
+    def field_index(self, name_or_index: "str | int") -> int:
+        """Resolve a field reference (name or positional index)."""
+        if isinstance(name_or_index, int):
+            if not 0 <= name_or_index < len(self._fields):
+                raise SchemaError(
+                    f"field index {name_or_index} out of range "
+                    f"[0, {len(self._fields)})")
+            return name_or_index
+        try:
+            return self._index[name_or_index]
+        except KeyError:
+            raise SchemaError(
+                f"unknown field {name_or_index!r}; fields: "
+                f"{[f.name for f in self._fields]}") from None
+
+    def offset_of(self, name_or_index: "str | int") -> int:
+        """Byte offset of a field inside the packed tuple."""
+        return self._fields[self.field_index(name_or_index)].offset
+
+    # -- (de)serialization -----------------------------------------------
+    def pack(self, values: tuple) -> bytes:
+        """Pack a Python tuple into its wire representation."""
+        try:
+            return self._struct.pack(*values)
+        except struct.error as exc:
+            raise SchemaError(
+                f"tuple {values!r} does not match schema "
+                f"{[f.name for f in self._fields]}: {exc}") from None
+
+    def pack_into(self, buffer: bytearray, offset: int,
+                  values: tuple) -> None:
+        """Pack a tuple directly into ``buffer`` at ``offset``."""
+        try:
+            self._struct.pack_into(buffer, offset, *values)
+        except struct.error as exc:
+            raise SchemaError(
+                f"tuple {values!r} does not match schema: {exc}") from None
+
+    def unpack(self, data: "bytes | bytearray | memoryview") -> tuple:
+        """Unpack one tuple from exactly ``tuple_size`` bytes."""
+        try:
+            return self._struct.unpack(data)
+        except struct.error as exc:
+            raise SchemaError(f"cannot unpack tuple: {exc}") from None
+
+    def unpack_from(self, buffer, offset: int = 0) -> tuple:
+        """Unpack one tuple from ``buffer`` starting at ``offset``."""
+        try:
+            return self._struct.unpack_from(buffer, offset)
+        except struct.error as exc:
+            raise SchemaError(f"cannot unpack tuple: {exc}") from None
+
+    def unpack_many(self, buffer, count: int, offset: int = 0) -> list[tuple]:
+        """Unpack ``count`` consecutive tuples (a segment payload)."""
+        size = self._struct.size
+        unpack_from = self._struct.unpack_from
+        return [unpack_from(buffer, offset + i * size) for i in range(count)]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields
+
+    def __hash__(self) -> int:
+        return hash(self._fields)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{f.name}:{f.dtype.name}" for f in self._fields)
+        return f"<Schema [{cols}] size={self.tuple_size}>"

@@ -1,0 +1,709 @@
+"""Shuffle flows: DFI's central abstraction (paper Sections 5.1-5.3).
+
+Each (source thread, target thread) pair owns a private channel consisting
+of a source-side send ring and a target-side receive ring. Data moves with
+one-sided RDMA writes; synchronization is footer-based (bandwidth mode) or
+credit-based (latency mode), exactly as in the paper:
+
+*Bandwidth mode* — tuples are batched into 8 KiB segments. Before writing
+remote segment *n* the source must know it is writable; it learns this from
+a pipelined RDMA read of segment *n+1*'s footer issued together with the
+previous write, so the check is off the critical path. If the ring is full
+the source polls the footer with a small random backoff. Writes are
+signaled only on send-ring wrap-around (selective signaling).
+
+*Latency mode* — segments hold exactly one tuple and are written
+immediately. A credit counter on the target (incremented per consume)
+bounds in-flight segments; the source refreshes its cached copy with an
+asynchronous RDMA read when the local estimate drops below a threshold, so
+the common-case push issues exactly one write and nothing else.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.common.errors import FlowAbortedError, FlowClosedError, FlowError
+from repro.common.rand import derive_rng
+from repro.core.flowdef import (
+    FLOW_END,
+    FlowDescriptor,
+    FlowType,
+    Optimization,
+)
+from repro.core.registry import FlowRegistry, RingHandle
+from repro.core.routing import key_hash_router
+from repro.core.segment import (
+    FLAG_ABORTED,
+    FLAG_CLOSED,
+    FLAG_CONSUMABLE,
+    FOOTER_SIZE,
+    SegmentRing,
+    pack_footer,
+    unpack_footer,
+)
+from repro.rdma.nic import get_nic
+
+if TYPE_CHECKING:
+    from repro.simnet.node import Node
+
+#: Base backoff (ns) when a remote ring is full (a jitter of the same
+#: magnitude is added, per the paper's "small random backoff").
+_FULL_RING_BACKOFF = 400.0
+
+
+def segment_payload_size(descriptor: FlowDescriptor) -> int:
+    """Per-segment payload bytes for a flow: the configured segment size in
+    bandwidth mode, exactly one tuple in latency mode."""
+    if descriptor.optimization is Optimization.LATENCY:
+        return descriptor.latency_segment_size()
+    size = descriptor.options.segment_size
+    if size < descriptor.schema.tuple_size:
+        raise FlowError(
+            f"segment size {size} smaller than one tuple "
+            f"({descriptor.schema.tuple_size} B)")
+    return size
+
+
+class _RingWriteWaiter:
+    """Wakes a target thread when any of its receive rings is written.
+
+    Real DFI busy-polls footer flags (a sub-100ns cache load). Simulating
+    every load would swamp the event kernel, so we register write hooks on
+    the ring regions and charge the profile's poll cost on each wakeup
+    instead — same observable timing, constant event count.
+    """
+
+    def __init__(self, env, regions) -> None:
+        self._env = env
+        self._regions = list(regions)
+        self._hooks: list = []
+
+    def arm(self):
+        event = self._env.event()
+        fired = [False]
+
+        def hook(_offset, _length):
+            if not fired[0]:
+                fired[0] = True
+                event.succeed()
+
+        for region in self._regions:
+            region.add_write_hook(hook)
+            self._hooks.append((region, hook))
+        return event
+
+    def disarm(self) -> None:
+        for region, hook in self._hooks:
+            region.remove_write_hook(hook)
+        self._hooks.clear()
+
+
+class BandwidthSourceChannel:
+    """Source half of one bandwidth-optimized channel."""
+
+    def __init__(self, node: "Node", descriptor: FlowDescriptor,
+                 handle: RingHandle, channel_tag: tuple) -> None:
+        self.node = node
+        self.env = node.env
+        self.profile = node.cluster.profile
+        self.schema = descriptor.schema
+        self.segment_payload = segment_payload_size(descriptor)
+        nic = get_nic(node)
+        self.qp = nic.create_qp(node.cluster.node(handle.node_id))
+        # The C++ implementation keeps a full send ring so segment memory
+        # stays untouched until the NIC finished its DMA. Our verbs layer
+        # snapshots payloads at post time, so one staging segment is
+        # physically sufficient; the ring's *protocol* behaviour — a
+        # signaled write and completion drain once per ring wrap-around —
+        # is still modeled, and memory accounting reports the ring the
+        # protocol requires.
+        self._ring_segments = descriptor.options.source_segments
+        self._pipelined_preread = descriptor.options.pipelined_footer_read
+        self._staging = bytearray(self.segment_payload + FOOTER_SIZE)
+        self._scratch = nic.register_memory(FOOTER_SIZE)
+        self.remote = handle
+        self._remote_slot = handle.segment_size + FOOTER_SIZE
+        self._rng = derive_rng(node.cluster.seed, "dfi-backoff", *channel_tag)
+        self._local_index = 0
+        self._remote_index = 0
+        self._used = 0
+        self._seq = 0
+        self._cpu_debt = 0.0
+        self._pending_footer_read = None
+        self._wrap_wr = None
+        self.closed = False
+        #: Segments transferred over the wire (stats).
+        self.segments_sent = 0
+        #: Tuples pushed into this channel (stats).
+        self.tuples_sent = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        return self._ring_segments * (self.segment_payload + FOOTER_SIZE)
+
+    def push(self, values: tuple):
+        """Generator: append one tuple; flushes when the segment fills.
+
+        Matches the paper's asynchronous push — it returns right after the
+        copy into the send buffer unless the segment is full *and* the
+        remote ring has no writable slot.
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        self.schema.pack_into(self._staging, self._used, values)
+        self._used += self.schema.tuple_size
+        self._cpu_debt += (self.profile.cpu_tuple_overhead
+                           + self.schema.tuple_size
+                           * self.profile.cpu_copy_per_byte)
+        self.tuples_sent += 1
+        if self._used + self.schema.tuple_size > self.segment_payload:
+            yield from self._flush(0)
+
+    def close(self):
+        """Generator: flush remaining tuples, send the close marker, and
+        wait for it to be acknowledged."""
+        wr = yield from self.begin_close()
+        if wr is not None and not wr.done.triggered:
+            yield wr.done
+
+    def begin_close(self):
+        """Generator: post the close marker without waiting for its ack
+        (lets a source close many channels concurrently)."""
+        if self.closed:
+            return None
+        wr = yield from self._flush(FLAG_CLOSED)
+        self.closed = True
+        return wr
+
+    def abort(self):
+        """Generator: abort the channel — staged tuples are dropped and
+        the target's consume path raises FlowAbortedError."""
+        if self.closed:
+            return
+        self._used = 0  # discard staged tuples: abort voids delivery
+        wr = yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
+        self.closed = True
+        if not wr.done.triggered:
+            yield wr.done
+
+    def _flush(self, extra_flags: int):
+        # Charge the CPU work accumulated by pushes plus the post cost.
+        debt = self._cpu_debt + self.profile.cpu_post_cost
+        self._cpu_debt = 0.0
+        yield self.node.compute(debt)
+        # Selective signaling: on wrap-around ensure the previous cycle's
+        # signaled write finished before its slot is reused.
+        if self._local_index == 0 and self._wrap_wr is not None:
+            if not self._wrap_wr.done.triggered:
+                yield self._wrap_wr.done
+            self._wrap_wr = None
+            self.qp.send_cq.poll(max_entries=64)
+        yield from self._ensure_remote_writable()
+        flags = FLAG_CONSUMABLE | extra_flags
+        footer = pack_footer(self._used, flags, self._seq)
+        signaled = self._local_index == self._ring_segments - 1
+        if extra_flags & FLAG_CLOSED:
+            signaled = True
+        remote_offset = self._remote_index * self._remote_slot
+        if self._used == self.segment_payload:
+            # Full segment: payload and footer are contiguous — one write.
+            self._staging[self._used:self._used + FOOTER_SIZE] = footer
+            wr = self.qp.post_write(
+                memoryview(self._staging)[:self._used + FOOTER_SIZE],
+                self.remote.rkey, remote_offset, signaled=signaled)
+        else:
+            # Partial segment (final flush): write only the used payload,
+            # then the footer at its fixed end-of-segment position. RC
+            # guarantees per-QP write ordering, so the footer still lands
+            # strictly after the payload.
+            if self._used:
+                self.qp.post_write(
+                    memoryview(self._staging)[:self._used],
+                    self.remote.rkey, remote_offset, signaled=False)
+            wr = self.qp.post_write(
+                footer, self.remote.rkey,
+                remote_offset + self.remote.segment_size,
+                signaled=signaled)
+        if signaled:
+            self._wrap_wr = wr
+        self.segments_sent += 1
+        self._seq += 1
+        # Pipeline the footer pre-read of the *next* remote segment with
+        # this write (paper Section 5.2).
+        next_remote = (self._remote_index + 1) % self.remote.segment_count
+        if self._pipelined_preread:
+            self._pending_footer_read = self.qp.post_read(
+                self._scratch, 0, self.remote.rkey,
+                next_remote * self._remote_slot + self.remote.segment_size,
+                FOOTER_SIZE, signaled=False)
+        self._remote_index = next_remote
+        self._local_index = (self._local_index + 1) % self._ring_segments
+        self._used = 0
+        return wr
+
+    def _ensure_remote_writable(self):
+        wr = self._pending_footer_read
+        self._pending_footer_read = None
+        if wr is None:
+            wr = self._read_current_remote_footer()
+        while True:
+            if wr.done.triggered:
+                data = wr.done.value
+            else:
+                data = yield wr.done
+            if not unpack_footer(data).consumable:
+                return
+            # Remote ring full: back off briefly, then re-poll the footer.
+            yield self.env.timeout(
+                _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+            wr = self._read_current_remote_footer()
+
+    def _read_current_remote_footer(self):
+        footer_offset = (self._remote_index * self._remote_slot
+                         + self.remote.segment_size)
+        return self.qp.post_read(self._scratch, 0, self.remote.rkey,
+                                 footer_offset, FOOTER_SIZE, signaled=False)
+
+
+class LatencySourceChannel:
+    """Source half of one latency-optimized channel (credit-based)."""
+
+    def __init__(self, node: "Node", descriptor: FlowDescriptor,
+                 handle: RingHandle, channel_tag: tuple) -> None:
+        if handle.credit_rkey is None:
+            raise FlowError("latency channels need a credit counter handle")
+        self.node = node
+        self.env = node.env
+        self.profile = node.cluster.profile
+        self.schema = descriptor.schema
+        self.segment_payload = segment_payload_size(descriptor)
+        nic = get_nic(node)
+        self.qp = nic.create_qp(node.cluster.node(handle.node_id))
+        self._scratch = nic.register_memory(8)
+        self.remote = handle
+        self._remote_slot = handle.segment_size + FOOTER_SIZE
+        self._rng = derive_rng(node.cluster.seed, "dfi-backoff", *channel_tag)
+        self._threshold = descriptor.options.credit_threshold
+        self._sent = 0
+        self._cached_consumed = 0
+        self._pending_credit_read = None
+        self.closed = False
+        self.segments_sent = 0
+        self.tuples_sent = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        return 8  # only the credit-read scratch; no local ring is needed
+
+    @property
+    def _available_credits(self) -> int:
+        return self.remote.segment_count - (self._sent
+                                            - self._cached_consumed)
+
+    def push(self, values: tuple):
+        """Generator: transfer one tuple immediately (one RDMA write)."""
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        cost = (self.profile.cpu_tuple_overhead
+                + self.schema.tuple_size * self.profile.cpu_copy_per_byte
+                + self.profile.cpu_post_cost)
+        yield self.node.compute(cost)
+        yield from self._acquire_credit()
+        payload = self.schema.pack(values)
+        self._write_slot(payload, FLAG_CONSUMABLE)
+        self.tuples_sent += 1
+        if (self._available_credits <= self._threshold
+                and self._pending_credit_read is None):
+            self._refresh_credit_async()
+
+    def close(self):
+        """Generator: send the close marker and wait for its ack."""
+        wr = yield from self.begin_close()
+        if wr is not None and not wr.done.triggered:
+            yield wr.done
+
+    def begin_close(self):
+        """Generator: post the close marker without waiting for its ack."""
+        if self.closed:
+            return None
+        yield self.node.compute(self.profile.cpu_post_cost)
+        yield from self._acquire_credit()
+        wr = self._write_slot(b"", FLAG_CONSUMABLE | FLAG_CLOSED,
+                              signaled=True)
+        self.closed = True
+        return wr
+
+    def abort(self):
+        """Generator: abort the channel (targets raise
+        FlowAbortedError)."""
+        if self.closed:
+            return
+        yield self.node.compute(self.profile.cpu_post_cost)
+        yield from self._acquire_credit()
+        wr = self._write_slot(
+            b"", FLAG_CONSUMABLE | FLAG_CLOSED | FLAG_ABORTED,
+            signaled=True)
+        self.closed = True
+        if not wr.done.triggered:
+            yield wr.done
+
+    def _write_slot(self, payload: bytes, flags: int, signaled: bool = False):
+        slot_index = self._sent % self.remote.segment_count
+        used = len(payload)
+        padding = b"\x00" * (self.segment_payload - used)
+        data = payload + padding + pack_footer(used, flags, self._sent)
+        wr = self.qp.post_write(data, self.remote.rkey,
+                                slot_index * self._remote_slot,
+                                signaled=signaled)
+        self._sent += 1
+        self.segments_sent += 1
+        return wr
+
+    def _refresh_credit_async(self) -> None:
+        self._pending_credit_read = self.qp.post_read(
+            self._scratch, 0, self.remote.credit_rkey,
+            self.remote.credit_offset, 8, signaled=False)
+
+    def _acquire_credit(self):
+        # Harvest a finished asynchronous refresh first.
+        pending = self._pending_credit_read
+        if pending is not None and pending.done.triggered:
+            self._apply_credit(pending.done.value)
+            self._pending_credit_read = None
+        while self._available_credits <= 0:
+            if self._pending_credit_read is None:
+                self._refresh_credit_async()
+            data = yield self._pending_credit_read.done
+            self._pending_credit_read = None
+            self._apply_credit(data)
+            if self._available_credits <= 0:
+                yield self.env.timeout(
+                    _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+
+    def _apply_credit(self, data: bytes) -> None:
+        consumed = int.from_bytes(data, "little")
+        if consumed > self._cached_consumed:
+            self._cached_consumed = consumed
+
+
+class TargetChannel:
+    """Target half of one channel: a receive ring polled in ring order."""
+
+    def __init__(self, node: "Node", descriptor: FlowDescriptor,
+                 ring: SegmentRing, credit_region, credit_offset: int) -> None:
+        self.node = node
+        self.schema = descriptor.schema
+        self.ring = ring
+        self._credit_region = credit_region
+        self._credit_offset = credit_offset
+        self._track_credits = (descriptor.optimization
+                               is Optimization.LATENCY)
+        self._index = 0
+        self._consumed = 0
+        self.done = False
+        self.aborted = False
+        self.tuples_received = 0
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.ring.total_bytes
+
+    def poll(self):
+        """Check the current segment; return ``(footer, tuples)`` (tuples
+        may be empty for a bare close marker) or ``None`` if nothing
+        arrived."""
+        if self.done:
+            return None
+        footer = self.ring.read_footer(self._index)
+        if not footer.consumable:
+            return None
+        count = footer.used // self.schema.tuple_size
+        if count:
+            payload = self.ring.payload_view(self._index, footer.used)
+            tuples = self.schema.unpack_many(payload, count)
+        else:
+            tuples = []
+        if footer.closed:
+            self.done = True
+        if footer.aborted:
+            self.aborted = True
+            tuples = []  # abort voids any delivery guarantee
+        # Release the segment: reset the footer locally (writable again).
+        # Direct memory write — no write hooks should fire for local resets.
+        footer_offset = self.ring.footer_offset(self._index)
+        self.ring.region.mem[footer_offset:footer_offset + FOOTER_SIZE] = (
+            pack_footer(0, 0, 0))
+        self._index = self.ring.next_index(self._index)
+        self._consumed += 1
+        self.tuples_received += len(tuples)
+        if self._track_credits:
+            self._credit_region.write_u64(self._credit_offset,
+                                          self._consumed)
+        return footer, tuples
+
+
+class ShuffleSource:
+    """The per-thread source endpoint of a shuffle flow."""
+
+    def __init__(self, registry: FlowRegistry, descriptor: FlowDescriptor,
+                 source_index: int, channels: list) -> None:
+        self.registry = registry
+        self.descriptor = descriptor
+        self.source_index = source_index
+        self.node = registry.cluster.node(
+            descriptor.sources[source_index].node_id)
+        self._channels = channels
+        schema = descriptor.schema
+        if descriptor.routing is not None:
+            self._router = descriptor.routing
+        elif descriptor.shuffle_key is not None:
+            self._router = key_hash_router(schema, descriptor.shuffle_key)
+        elif len(channels) == 1:
+            self._router = lambda _values, _count: 0
+        else:
+            self._router = None  # direct routing only
+        self.closed = False
+
+    @classmethod
+    def open(cls, registry: FlowRegistry, name: str, source_index: int):
+        """Generator: open source endpoint ``source_index`` of flow
+        ``name``, waiting for the targets to publish their rings."""
+        descriptor = registry.descriptor(name)
+        if descriptor.flow_type not in (FlowType.SHUFFLE, FlowType.COMBINER):
+            raise FlowError(
+                f"flow {name!r} is a {descriptor.flow_type.value} flow")
+        if not 0 <= source_index < descriptor.source_count:
+            raise FlowError(
+                f"source index {source_index} out of range "
+                f"[0, {descriptor.source_count})")
+        node = registry.cluster.node(
+            descriptor.sources[source_index].node_id)
+        latency = descriptor.optimization is Optimization.LATENCY
+        channel_cls = (LatencySourceChannel if latency
+                       else BandwidthSourceChannel)
+        channels = []
+        for target_index in range(descriptor.target_count):
+            handle = yield from registry.wait_ring(name, source_index,
+                                                   target_index)
+            tag = (name, source_index, target_index)
+            channels.append(channel_cls(node, descriptor, handle, tag))
+        return cls(registry, descriptor, source_index, channels)
+
+    # -- the push primitive ----------------------------------------------
+    def push(self, values: tuple, target: "int | None" = None):
+        """Generator: push one tuple into the flow.
+
+        Routing follows the descriptor (shuffle key or routing function)
+        unless ``target`` names a target index directly (the paper's third
+        routing option).
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        if target is None:
+            if self._router is None:
+                raise FlowError(
+                    "flow has no shuffle key or routing function; pass "
+                    "target= explicitly")
+            target = self._router(values, len(self._channels))
+        if not 0 <= target < len(self._channels):
+            raise FlowError(
+                f"routed to target {target}, valid range "
+                f"[0, {len(self._channels)})")
+        yield from self._channels[target].push(values)
+
+    def push_many(self, tuples, target: "int | None" = None):
+        """Generator: push a batch of tuples (convenience wrapper)."""
+        for values in tuples:
+            yield from self.push(values, target=target)
+
+    def close(self):
+        """Generator: close every channel (targets see FLOW_END once all
+        sources have closed). Close markers are posted to all channels
+        first, then acknowledged in parallel."""
+        work_requests = []
+        for channel in self._channels:
+            wr = yield from channel.begin_close()
+            if wr is not None:
+                work_requests.append(wr)
+        for wr in work_requests:
+            if not wr.done.triggered:
+                yield wr.done
+        self.closed = True
+
+    def abort(self):
+        """Generator: abort the flow — staged data is dropped and every
+        target's consume raises FlowAbortedError (the fault-tolerance
+        extension; paper Section 7 lists flow fault tolerance as future
+        work)."""
+        for channel in self._channels:
+            yield from channel.abort()
+        self.closed = True
+
+    def adopt_new_targets(self):
+        """Generator: pick up targets added to the flow at runtime
+        (elasticity — paper Section 7 future work). New channels are
+        opened for every target index beyond the currently known set;
+        the router immediately includes them in its fan-out."""
+        descriptor = self.registry.descriptor(self.descriptor.name)
+        latency = descriptor.optimization is Optimization.LATENCY
+        channel_cls = (LatencySourceChannel if latency
+                       else BandwidthSourceChannel)
+        for target_index in range(len(self._channels),
+                                  descriptor.target_count):
+            handle = yield from self.registry.wait_ring(
+                descriptor.name, self.source_index, target_index)
+            tag = (descriptor.name, self.source_index, target_index)
+            self._channels.append(
+                channel_cls(self.node, descriptor, handle, tag))
+        self.descriptor = descriptor
+
+    def retire_target(self, target_index: int):
+        """Generator: stop sending to the *last* target (scale-in). The
+        target observes this source's close marker; once every source
+        retired it, the target drains to FLOW_END."""
+        if target_index != len(self._channels) - 1:
+            raise FlowError(
+                "only the last target can be retired (index "
+                f"{len(self._channels) - 1}, got {target_index})")
+        if len(self._channels) == 1:
+            raise FlowError("cannot retire the only target; close the "
+                            "flow instead")
+        channel = self._channels.pop()
+        yield from channel.close()
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def tuples_sent(self) -> int:
+        return sum(channel.tuples_sent for channel in self._channels)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Send-side buffer memory of this endpoint (§6.1.4 accounting)."""
+        return sum(channel.memory_bytes for channel in self._channels)
+
+
+class ShuffleTarget:
+    """The per-thread target endpoint of a shuffle flow."""
+
+    #: Flow types this endpoint class may open (subclasses override).
+    _allowed_flow_types = (FlowType.SHUFFLE, FlowType.COMBINER)
+
+    def __init__(self, registry: FlowRegistry, descriptor: FlowDescriptor,
+                 target_index: int, channels: list[TargetChannel]) -> None:
+        self.registry = registry
+        self.descriptor = descriptor
+        self.target_index = target_index
+        self.node = registry.cluster.node(
+            descriptor.targets[target_index].node_id)
+        self._channels = channels
+        self._buffer: deque = deque()
+        self._cursor = 0
+        self._waiter = _RingWriteWaiter(
+            self.node.env, [channel.ring.region for channel in channels])
+
+    @classmethod
+    def open(cls, registry: FlowRegistry, name: str,
+             target_index: int) -> "ShuffleTarget":
+        """Open target endpoint ``target_index`` of flow ``name``:
+        allocates the receive rings and publishes them for the sources."""
+        descriptor = registry.descriptor(name)
+        if descriptor.flow_type not in cls._allowed_flow_types:
+            raise FlowError(
+                f"flow {name!r} is a {descriptor.flow_type.value} flow")
+        if not 0 <= target_index < descriptor.target_count:
+            raise FlowError(
+                f"target index {target_index} out of range "
+                f"[0, {descriptor.target_count})")
+        node = registry.cluster.node(
+            descriptor.targets[target_index].node_id)
+        nic = get_nic(node)
+        payload = segment_payload_size(descriptor)
+        credit_region = nic.register_memory(8 * descriptor.source_count)
+        channels = []
+        for source_index in range(descriptor.source_count):
+            ring = SegmentRing.allocate(
+                nic, descriptor.options.target_segments, payload)
+            credit_offset = 8 * source_index
+            channels.append(TargetChannel(node, descriptor, ring,
+                                          credit_region, credit_offset))
+            registry.publish_ring(name, source_index, target_index,
+                                  RingHandle(
+                                      node_id=node.node_id,
+                                      rkey=ring.region.rkey,
+                                      segment_count=ring.segment_count,
+                                      segment_size=ring.segment_size,
+                                      credit_rkey=credit_region.rkey,
+                                      credit_offset=credit_offset))
+        return cls(registry, descriptor, target_index, channels)
+
+    # -- the consume primitive ----------------------------------------------
+    def consume(self):
+        """Generator: return the next tuple, or :data:`FLOW_END` once every
+        source has closed and all data has been drained."""
+        if self._buffer:
+            return self._buffer.popleft()
+        while True:
+            wait_event = self._waiter.arm()
+            progressed = self._scan()
+            if any(channel.aborted for channel in self._channels):
+                self._waiter.disarm()
+                raise FlowAbortedError(
+                    f"flow {self.descriptor.name!r} was aborted by a "
+                    f"source")
+            if self._buffer:
+                self._waiter.disarm()
+                return self._buffer.popleft()
+            if self._finished():
+                self._waiter.disarm()
+                return FLOW_END
+            if progressed:
+                # Close markers or empty segments arrived; rescan.
+                self._waiter.disarm()
+                continue
+            yield wait_event
+            self._waiter.disarm()
+            yield self.node.compute(
+                self.node.cluster.profile.cpu_poll_cost)
+
+    def consume_batch(self):
+        """Generator: return all currently buffered tuples as a list (at
+        least one segment's worth), or :data:`FLOW_END`. Cheaper than
+        per-tuple consume for bulk processing."""
+        first = yield from self.consume()
+        if first is FLOW_END:
+            return FLOW_END
+        batch = [first]
+        while self._buffer:
+            batch.append(self._buffer.popleft())
+        return batch
+
+    def _finished(self) -> bool:
+        """True once the flow is fully drained (hook for subclasses)."""
+        return all(channel.done for channel in self._channels)
+
+    def _scan(self) -> bool:
+        """Round-robin poll all channels once; buffer whatever arrived."""
+        progressed = False
+        count = len(self._channels)
+        for step in range(count):
+            channel = self._channels[(self._cursor + step) % count]
+            polled = channel.poll()
+            if polled is None:
+                continue
+            progressed = True
+            _footer, tuples = polled
+            self._buffer.extend(tuples)
+        self._cursor = (self._cursor + 1) % count
+        return progressed
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def tuples_received(self) -> int:
+        return sum(channel.tuples_received for channel in self._channels)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Receive-side buffer memory of this endpoint."""
+        return sum(channel.memory_bytes for channel in self._channels)

@@ -1,0 +1,76 @@
+"""DFI's tuple type system (paper Section 4.1).
+
+Types mirror the LP64 data model of the paper's C++ implementation. A type
+is defined once per flow (inside a schema), so there is *no* per-tuple type
+interpretation during flow execution: attribute access compiles down to
+fixed offsets inside a packed binary tuple.
+
+Applications can extend the system with :func:`fixed_bytes` (opaque
+user-defined payloads of a fixed width) — the extension hook the paper
+mentions for user-defined types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A fixed-width field type with its ``struct`` format code."""
+
+    name: str
+    code: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise SchemaError(f"type {self.name!r} must have positive size")
+
+
+INT8 = DataType("int8", "b", 1)
+UINT8 = DataType("uint8", "B", 1)
+INT16 = DataType("int16", "h", 2)
+UINT16 = DataType("uint16", "H", 2)
+INT32 = DataType("int32", "i", 4)
+UINT32 = DataType("uint32", "I", 4)
+INT64 = DataType("int64", "q", 8)
+UINT64 = DataType("uint64", "Q", 8)
+FLOAT = DataType("float", "f", 4)
+DOUBLE = DataType("double", "d", 8)
+CHAR = DataType("char", "c", 1)
+
+#: The built-in types, by name (used by schema parsing helpers).
+BUILTIN_TYPES = {
+    dtype.name: dtype
+    for dtype in (INT8, UINT8, INT16, UINT16, INT32, UINT32,
+                  INT64, UINT64, FLOAT, DOUBLE, CHAR)
+}
+
+
+def fixed_bytes(size: int) -> DataType:
+    """A user-defined opaque type of exactly ``size`` bytes.
+
+    Values are ``bytes`` objects of that exact length.
+    """
+    if size <= 0:
+        raise SchemaError("fixed_bytes size must be positive")
+    return DataType(f"bytes[{size}]", f"{size}s", size)
+
+
+def resolve_type(spec: "DataType | str | int") -> DataType:
+    """Resolve a type spec: a :class:`DataType`, a builtin name like
+    ``'uint64'``, or an int meaning ``fixed_bytes(n)``."""
+    if isinstance(spec, DataType):
+        return spec
+    if isinstance(spec, str):
+        try:
+            return BUILTIN_TYPES[spec]
+        except KeyError:
+            raise SchemaError(f"unknown type name {spec!r}; known: "
+                              f"{sorted(BUILTIN_TYPES)}") from None
+    if isinstance(spec, int):
+        return fixed_bytes(spec)
+    raise SchemaError(f"cannot resolve type spec {spec!r}")

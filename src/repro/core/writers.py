@@ -1,0 +1,196 @@
+"""Low-level remote-ring writers used by replicate flows.
+
+Two synchronization strategies, mirroring the shuffle-flow channel designs
+(paper Sections 5.2 / 5.3):
+
+* :class:`FooterRingWriter` — bandwidth protocol: pipelined footer pre-read
+  of segment *n+1* with the write of *n*, random-backoff polling on a full
+  ring, selective signaling;
+* :class:`CreditRingWriter` — latency protocol: a target-side consumed
+  counter read asynchronously when the local credit estimate runs low.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.rand import derive_rng
+from repro.core.registry import RingHandle
+from repro.core.segment import FOOTER_SIZE, pack_footer, unpack_footer
+from repro.rdma.nic import get_nic
+
+if TYPE_CHECKING:
+    from repro.simnet.node import Node
+
+_FULL_RING_BACKOFF = 400.0
+
+
+class FooterRingWriter:
+    """Writes whole segment slots to a remote ring, footer-synchronized."""
+
+    def __init__(self, node: "Node", handle: RingHandle,
+                 tag: tuple, signal_interval: int = 16) -> None:
+        self.node = node
+        self.env = node.env
+        nic = get_nic(node)
+        self.qp = nic.create_qp(node.cluster.node(handle.node_id))
+        self._scratch = nic.register_memory(FOOTER_SIZE)
+        self.handle = handle
+        self.slot_size = handle.segment_size + FOOTER_SIZE
+        self._rng = derive_rng(node.cluster.seed, "writer-backoff", *tag)
+        self._remote_index = 0
+        self._pending_read = None
+        self._signal_interval = signal_interval
+        self._since_signal = 0
+        self._signal_wr = None
+        self.segments_written = 0
+
+    def write_segment(self, payload: bytes, flags: int, seq: int,
+                      source_index: int = 0):
+        """Generator: transfer one segment into the next remote slot,
+        synchronizing on its writability first.
+
+        Full segments go out as one contiguous payload+footer write.
+        Partial segments (final flushes, close markers) write only the
+        used payload followed by a separate footer write at the fixed
+        end-of-segment position — RC per-QP ordering keeps the footer
+        landing strictly after the payload.
+        """
+        yield from self._ensure_writable()
+        if (self._signal_wr is not None
+                and self._since_signal >= self._signal_interval):
+            if not self._signal_wr.done.triggered:
+                yield self._signal_wr.done
+            self._signal_wr = None
+            self._since_signal = 0
+            self.qp.send_cq.poll(max_entries=64)
+        signaled = self._since_signal + 1 >= self._signal_interval
+        remote_offset = self._remote_index * self.slot_size
+        footer = pack_footer(len(payload), flags, seq, source_index)
+        if len(payload) == self.handle.segment_size:
+            wr = self.qp.post_write(payload + footer, self.handle.rkey,
+                                    remote_offset, signaled=signaled)
+        else:
+            if payload:
+                self.qp.post_write(payload, self.handle.rkey,
+                                   remote_offset, signaled=False)
+            wr = self.qp.post_write(
+                footer, self.handle.rkey,
+                remote_offset + self.handle.segment_size, signaled=signaled)
+        if signaled:
+            self._signal_wr = wr
+        self._since_signal += 1
+        self.segments_written += 1
+        next_index = (self._remote_index + 1) % self.handle.segment_count
+        self._pending_read = self.qp.post_read(
+            self._scratch, 0, self.handle.rkey,
+            next_index * self.slot_size + self.handle.segment_size,
+            FOOTER_SIZE, signaled=False)
+        self._remote_index = next_index
+        return wr
+
+    def _ensure_writable(self):
+        wr = self._pending_read
+        self._pending_read = None
+        if wr is None:
+            wr = self._read_footer()
+        while True:
+            data = wr.done.value if wr.done.triggered else (yield wr.done)
+            if not unpack_footer(data).consumable:
+                return
+            yield self.env.timeout(
+                _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+            wr = self._read_footer()
+
+    def _read_footer(self):
+        offset = (self._remote_index * self.slot_size
+                  + self.handle.segment_size)
+        return self.qp.post_read(self._scratch, 0, self.handle.rkey, offset,
+                                 FOOTER_SIZE, signaled=False)
+
+
+class CreditRingWriter:
+    """Writes segment slots to a remote ring under credit flow control."""
+
+    def __init__(self, node: "Node", handle: RingHandle, tag: tuple,
+                 credit_threshold: int) -> None:
+        if handle.credit_rkey is None:
+            raise ValueError("credit writer needs a credit counter handle")
+        self.node = node
+        self.env = node.env
+        nic = get_nic(node)
+        self.qp = nic.create_qp(node.cluster.node(handle.node_id))
+        self._scratch = nic.register_memory(8)
+        self.handle = handle
+        self.slot_size = handle.segment_size + FOOTER_SIZE
+        self._rng = derive_rng(node.cluster.seed, "writer-backoff", *tag)
+        self._threshold = credit_threshold
+        self._sent = 0
+        self._cached_consumed = 0
+        self._pending_read = None
+        self.segments_written = 0
+
+    @property
+    def _available(self) -> int:
+        return self.handle.segment_count - (self._sent
+                                            - self._cached_consumed)
+
+    def write_segment(self, payload: bytes, flags: int, seq: int,
+                      source_index: int = 0):
+        """Generator: transfer one segment after acquiring a credit."""
+        yield from self._acquire_credit()
+        remote_offset = ((self._sent % self.handle.segment_count)
+                         * self.slot_size)
+        footer = pack_footer(len(payload), flags, seq, source_index)
+        if len(payload) == self.handle.segment_size:
+            wr = self.qp.post_write(payload + footer, self.handle.rkey,
+                                    remote_offset, signaled=False)
+        else:
+            if payload:
+                self.qp.post_write(payload, self.handle.rkey,
+                                   remote_offset, signaled=False)
+            wr = self.qp.post_write(
+                footer, self.handle.rkey,
+                remote_offset + self.handle.segment_size, signaled=False)
+        self._sent += 1
+        self.segments_written += 1
+        if self._available <= self._threshold and self._pending_read is None:
+            self._refresh_async()
+        return wr
+
+    def _refresh_async(self) -> None:
+        self._pending_read = self.qp.post_read(
+            self._scratch, 0, self.handle.credit_rkey,
+            self.handle.credit_offset, 8, signaled=False)
+
+    def _acquire_credit(self):
+        pending = self._pending_read
+        if pending is not None and pending.done.triggered:
+            self._apply(pending.done.value)
+            self._pending_read = None
+        while self._available <= 0:
+            if self._pending_read is None:
+                self._refresh_async()
+            data = yield self._pending_read.done
+            self._pending_read = None
+            self._apply(data)
+            if self._available <= 0:
+                yield self.env.timeout(
+                    _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+
+    def _apply(self, data: bytes) -> None:
+        consumed = int.from_bytes(data, "little")
+        if consumed > self._cached_consumed:
+            self._cached_consumed = consumed
+
+
+def build_slot(payload: bytes, segment_size: int, flags: int, seq: int,
+               source_index: int = 0) -> bytes:
+    """Assemble one wire slot: payload, zero padding, 16-byte footer."""
+    if len(payload) > segment_size:
+        raise ValueError(
+            f"payload of {len(payload)} bytes exceeds segment size "
+            f"{segment_size}")
+    padding = b"\x00" * (segment_size - len(payload))
+    return payload + padding + pack_footer(len(payload), flags, seq,
+                                           source_index)

@@ -1,0 +1,13 @@
+"""MPI baseline: the abstraction the paper's Experiment 2 argues against."""
+
+from repro.mpi.communicator import Communicator
+from repro.mpi.runtime import ANY_SOURCE, ANY_TAG, MpiRuntime, Rank, ThreadingLevel
+
+__all__ = [
+    "MpiRuntime",
+    "Communicator",
+    "Rank",
+    "ThreadingLevel",
+    "ANY_SOURCE",
+    "ANY_TAG",
+]

@@ -1,0 +1,28 @@
+"""RDMA verbs layer: the substrate replacing libibverbs/ConnectX-5
+(see DESIGN.md Section 2)."""
+
+from repro.rdma.completion import (
+    Completion,
+    CompletionQueue,
+    Opcode,
+    WcStatus,
+    WorkRequest,
+)
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import RNic, get_nic
+from repro.rdma.qp import UD_MTU, MulticastGroup, QueuePair, UdQueuePair
+
+__all__ = [
+    "MemoryRegion",
+    "RNic",
+    "get_nic",
+    "QueuePair",
+    "UdQueuePair",
+    "MulticastGroup",
+    "UD_MTU",
+    "CompletionQueue",
+    "Completion",
+    "WorkRequest",
+    "Opcode",
+    "WcStatus",
+]

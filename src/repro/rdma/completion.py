@@ -1,0 +1,96 @@
+"""Completion queues and work-request bookkeeping."""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.simnet.kernel import Environment, Event
+
+
+class Opcode(enum.Enum):
+    """Operation type recorded in a completion entry."""
+
+    WRITE = "write"
+    READ = "read"
+    SEND = "send"
+    RECV = "recv"
+    FETCH_ADD = "fetch_add"
+    COMPARE_SWAP = "compare_swap"
+
+
+class WcStatus(enum.Enum):
+    """Completion status (mirrors ``ibv_wc_status`` success/failure)."""
+
+    SUCCESS = "success"
+    ERROR = "error"
+
+
+@dataclass
+class Completion:
+    """One completion-queue entry (a ``struct ibv_wc``)."""
+
+    wr_id: Any
+    opcode: Opcode
+    status: WcStatus = WcStatus.SUCCESS
+    byte_len: int = 0
+    #: Operation-specific result, e.g. the old value of a fetch-and-add.
+    result: Any = None
+    #: Immediate data carried by a send, if any.
+    imm: int | None = None
+
+
+@dataclass
+class WorkRequest:
+    """A posted work request; ``done`` triggers when the operation
+    completes (for writes: when the RC ACK returns to the sender)."""
+
+    wr_id: Any
+    opcode: Opcode
+    signaled: bool
+    done: Event = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class CompletionQueue:
+    """FIFO completion queue with optional blocking waits.
+
+    ``poll`` is the cheap non-blocking check applications spin on;
+    ``wait`` returns an event for event-driven consumers.
+    """
+
+    def __init__(self, env: Environment, name: str = "cq") -> None:
+        self.env = env
+        self.name = name
+        self._entries: deque[Completion] = deque()
+        self._waiters: deque[Event] = deque()
+        #: Total completions ever pushed (for stats/tests).
+        self.pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def push(self, completion: Completion) -> None:
+        """Add a completion entry, waking one blocked waiter if any."""
+        self.pushed += 1
+        if self._waiters:
+            self._waiters.popleft().succeed(completion)
+        else:
+            self._entries.append(completion)
+
+    def poll(self, max_entries: int = 16) -> list[Completion]:
+        """Pop up to ``max_entries`` completions without blocking."""
+        popped = []
+        while self._entries and len(popped) < max_entries:
+            popped.append(self._entries.popleft())
+        return popped
+
+    def wait(self) -> Event:
+        """Return an event triggering with the next completion entry."""
+        event = Event(self.env)
+        if self._entries:
+            event.succeed(self._entries.popleft())
+        else:
+            self._waiters.append(event)
+        return event

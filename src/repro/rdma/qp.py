@@ -1,0 +1,420 @@
+"""Queue pairs: reliable connection (RC) and unreliable datagram (UD).
+
+The RC queue pair offers the verbs DFI builds on:
+
+* one-sided ``WRITE`` with the increasing-address DMA commit order (payload
+  bytes land strictly before the trailing footer bytes — the property that
+  lets DFI use a footer flag instead of checksums, paper Section 5.2);
+* one-sided ``READ`` (used to poll remote footers);
+* atomics ``FETCH_ADD`` / ``COMPARE_SWAP`` (the tuple sequencer);
+* two-sided ``SEND``/``RECV`` with eager buffering;
+* selective signaling: only signaled requests produce CQ entries, all
+  requests expose a ``done`` event.
+
+The UD queue pair carries multicast: unreliable (fabric loss + drops when no
+receive request is posted) and MTU-limited, matching InfiniBand UD.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+from repro.common.errors import RdmaError
+from repro.rdma.completion import Completion, CompletionQueue, Opcode, WcStatus, WorkRequest
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import RNic, get_nic
+from repro.simnet.kernel import Event
+from repro.simnet.node import Node
+
+if TYPE_CHECKING:
+    pass
+
+#: Wire size of a one-sided READ / atomic request packet.
+_REQUEST_PACKET_SIZE = 16
+#: Trailing bytes of a WRITE that commit last (covers DFI's 16-byte footer).
+_ORDERED_TAIL = 64
+#: InfiniBand UD MTU: the largest datagram an unreliable QP can carry.
+UD_MTU = 4096
+
+
+def _as_bytes(payload: bytes | bytearray | memoryview) -> bytes:
+    if isinstance(payload, bytes):
+        return payload
+    return bytes(payload)
+
+
+class QueuePair:
+    """A reliable-connection queue pair bound to one remote node."""
+
+    def __init__(self, nic: RNic, qpn: int, remote_node: Node,
+                 send_cq: CompletionQueue, recv_cq: CompletionQueue) -> None:
+        self.nic = nic
+        self.env = nic.env
+        self.qpn = qpn
+        self.node = nic.node
+        self.remote_node = remote_node
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self._peer: "QueuePair | None" = None
+        self._recv_queue: deque[tuple[MemoryRegion, int, int, Any]] = deque()
+        self._pending_rx: deque[tuple[bytes, int | None]] = deque()
+
+    # -- connection handling (two-sided only) ------------------------------
+    def connect(self, peer: "QueuePair") -> None:
+        """Pair this QP with ``peer`` for two-sided SEND/RECV traffic."""
+        if peer.node is not self.remote_node or peer.remote_node is not self.node:
+            raise RdmaError(
+                f"QP pair mismatch: {self.node.name}->{self.remote_node.name} "
+                f"vs {peer.node.name}->{peer.remote_node.name}")
+        self._peer = peer
+        peer._peer = self
+
+    # -- helpers -----------------------------------------------------------
+    def _fabric(self):
+        return self.node.cluster.fabric
+
+    def _ack_latency(self) -> float:
+        profile = self.nic.profile
+        if self.remote_node is self.node:
+            return profile.loopback_latency
+        return profile.wire_latency
+
+    def _finish(self, wr: WorkRequest, delay: float, byte_len: int,
+                result: Any = None) -> None:
+        """Complete ``wr`` after ``delay`` ns: trigger ``done`` and push a
+        CQ entry if the request was signaled."""
+        done_timer = self.env.timeout(delay)
+
+        def on_done(_event, wr=wr, result=result, byte_len=byte_len):
+            wr.done.succeed(result)
+            if wr.signaled:
+                self.send_cq.push(Completion(
+                    wr_id=wr.wr_id, opcode=wr.opcode, status=WcStatus.SUCCESS,
+                    byte_len=byte_len, result=result))
+
+        done_timer.callbacks.append(on_done)
+
+    # -- one-sided WRITE -----------------------------------------------------
+    def post_write(self, payload: bytes | bytearray | memoryview,
+                   remote_rkey: int, remote_offset: int,
+                   signaled: bool = False, wr_id: Any = None) -> WorkRequest:
+        """Post a one-sided RDMA WRITE of ``payload`` into the remote region.
+
+        Returns the work request; its ``done`` event triggers when the RC
+        acknowledgment returns to this sender. The remote CPU is never
+        involved. The payload bytes are committed to remote memory in
+        increasing address order: everything before the trailing
+        ``_ORDERED_TAIL`` bytes lands strictly earlier, so a footer flag at
+        the end of a segment proves the whole segment arrived.
+        """
+        data = _as_bytes(payload)
+        if not data:
+            raise RdmaError("cannot post a zero-length write")
+        remote_region = get_nic(self.remote_node).region(remote_rkey)
+        remote_region.check_range(remote_offset, len(data))
+        size = len(data)
+        inline = size <= self.nic.profile.max_inline_size
+        offset_delay = self.nic.engine_delay(inline)
+        self.nic.bytes_posted += size
+        arrival = self._fabric().unicast(self.node, self.remote_node, size,
+                                         delay=offset_delay)
+        tail_len = min(size, _ORDERED_TAIL)
+        prefix = data[:size - tail_len]
+        tail = data[size - tail_len:]
+        if prefix:
+            bandwidth = self.nic.profile.link_bandwidth
+            prefix_delay = max(0.0, arrival.delay - tail_len / bandwidth)
+            prefix_timer = self.env.timeout(prefix_delay)
+
+            def commit_prefix(_event, region=remote_region,
+                              offset=remote_offset, chunk=prefix):
+                region.write(offset, chunk)
+
+            prefix_timer.callbacks.append(commit_prefix)
+
+        def commit_tail(_event, region=remote_region,
+                        offset=remote_offset + size - tail_len, chunk=tail):
+            region.write(offset, chunk)
+
+        arrival.callbacks.append(commit_tail)
+        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.WRITE, signaled=signaled,
+                         done=Event(self.env))
+        self._finish(wr, arrival.delay + self._ack_latency(), size)
+        return wr
+
+    # -- one-sided READ ----------------------------------------------------
+    def post_read(self, local_region: MemoryRegion, local_offset: int,
+                  remote_rkey: int, remote_offset: int, length: int,
+                  signaled: bool = True, wr_id: Any = None) -> WorkRequest:
+        """Post a one-sided RDMA READ of ``length`` remote bytes into
+        ``local_region`` at ``local_offset``.
+
+        The remote memory is snapshotted when the request packet reaches
+        the remote NIC; ``done`` triggers (with the bytes as its value)
+        when the response lands locally.
+        """
+        if length <= 0:
+            raise RdmaError("read length must be positive")
+        remote_region = get_nic(self.remote_node).region(remote_rkey)
+        remote_region.check_range(remote_offset, length)
+        local_region.check_range(local_offset, length)
+        offset_delay = self.nic.engine_delay(inline=True)
+        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.READ, signaled=signaled,
+                         done=Event(self.env))
+        request = self._fabric().unicast(self.node, self.remote_node,
+                                         _REQUEST_PACKET_SIZE,
+                                         delay=offset_delay, control=True)
+
+        def on_request_arrival(_event):
+            data = remote_region.read(remote_offset, length)
+            response = self._fabric().unicast(self.remote_node, self.node,
+                                              length, control=True)
+
+            def on_response(_event2, data=data):
+                local_region.write(local_offset, data)
+                wr.done.succeed(data)
+                if wr.signaled:
+                    self.send_cq.push(Completion(
+                        wr_id=wr.wr_id, opcode=Opcode.READ,
+                        status=WcStatus.SUCCESS, byte_len=length,
+                        result=data))
+
+            response.callbacks.append(on_response)
+
+        request.callbacks.append(on_request_arrival)
+        return wr
+
+    # -- atomics ------------------------------------------------------------
+    def _post_atomic(self, opcode: Opcode, remote_rkey: int,
+                     remote_offset: int, apply, signaled: bool,
+                     wr_id: Any) -> WorkRequest:
+        remote_region = get_nic(self.remote_node).region(remote_rkey)
+        remote_region.check_range(remote_offset, 8)
+        offset_delay = self.nic.engine_delay(inline=True)
+        wr = WorkRequest(wr_id=wr_id, opcode=opcode, signaled=signaled,
+                         done=Event(self.env))
+        request = self._fabric().unicast(self.node, self.remote_node,
+                                         _REQUEST_PACKET_SIZE,
+                                         delay=offset_delay, control=True)
+
+        def on_request_arrival(_event):
+            old_value = apply(remote_region, remote_offset)
+            response = self._fabric().unicast(self.remote_node, self.node, 8,
+                                              control=True)
+
+            def on_response(_event2, old_value=old_value):
+                wr.done.succeed(old_value)
+                if wr.signaled:
+                    self.send_cq.push(Completion(
+                        wr_id=wr.wr_id, opcode=opcode,
+                        status=WcStatus.SUCCESS, byte_len=8,
+                        result=old_value))
+
+            response.callbacks.append(on_response)
+
+        request.callbacks.append(on_request_arrival)
+        return wr
+
+    def post_fetch_add(self, remote_rkey: int, remote_offset: int,
+                       addend: int, signaled: bool = True,
+                       wr_id: Any = None) -> WorkRequest:
+        """Atomic fetch-and-add on a remote u64; ``done`` yields the old
+        value. This is the primitive behind DFI's tuple sequencer."""
+        return self._post_atomic(
+            Opcode.FETCH_ADD, remote_rkey, remote_offset,
+            lambda region, offset: region.fetch_add_u64(offset, addend),
+            signaled, wr_id)
+
+    def post_compare_swap(self, remote_rkey: int, remote_offset: int,
+                          expected: int, swap: int, signaled: bool = True,
+                          wr_id: Any = None) -> WorkRequest:
+        """Atomic compare-and-swap on a remote u64; ``done`` yields the old
+        value (swap succeeded iff it equals ``expected``)."""
+        return self._post_atomic(
+            Opcode.COMPARE_SWAP, remote_rkey, remote_offset,
+            lambda region, offset: region.compare_swap_u64(offset, expected,
+                                                           swap),
+            signaled, wr_id)
+
+    # -- two-sided SEND/RECV -------------------------------------------------
+    def post_recv(self, region: MemoryRegion, offset: int, length: int,
+                  wr_id: Any = None) -> None:
+        """Post a receive buffer; completions appear on ``recv_cq``."""
+        region.check_range(offset, length)
+        self._recv_queue.append((region, offset, length, wr_id))
+        self._match_pending()
+
+    def post_send(self, payload: bytes | bytearray | memoryview,
+                  signaled: bool = True, wr_id: Any = None,
+                  imm: int | None = None) -> WorkRequest:
+        """Post a two-sided SEND to the connected peer QP."""
+        if self._peer is None:
+            raise RdmaError("post_send on an unconnected RC queue pair")
+        data = _as_bytes(payload)
+        if not data:
+            raise RdmaError("cannot send an empty message")
+        size = len(data)
+        inline = size <= self.nic.profile.max_inline_size
+        offset_delay = self.nic.engine_delay(inline)
+        self.nic.bytes_posted += size
+        arrival = self._fabric().unicast(self.node, self.remote_node, size,
+                                         delay=offset_delay)
+        peer = self._peer
+
+        def on_arrival(_event, data=data, imm=imm):
+            peer._deliver(data, imm)
+
+        arrival.callbacks.append(on_arrival)
+        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.SEND, signaled=signaled,
+                         done=Event(self.env))
+        self._finish(wr, arrival.delay + self._ack_latency(), size)
+        return wr
+
+    def _deliver(self, data: bytes, imm: int | None) -> None:
+        self._pending_rx.append((data, imm))
+        self._match_pending()
+
+    def _match_pending(self) -> None:
+        while self._pending_rx and self._recv_queue:
+            data, imm = self._pending_rx.popleft()
+            region, offset, length, wr_id = self._recv_queue.popleft()
+            if len(data) > length:
+                raise RdmaError(
+                    f"received {len(data)} bytes into a {length}-byte "
+                    f"receive buffer on {self.node.name}")
+            region.write(offset, data)
+            self.recv_cq.push(Completion(
+                wr_id=wr_id, opcode=Opcode.RECV, status=WcStatus.SUCCESS,
+                byte_len=len(data), imm=imm,
+                result=(region, offset, len(data))))
+
+    @property
+    def posted_recv_count(self) -> int:
+        return len(self._recv_queue)
+
+    def __repr__(self) -> str:
+        return (f"<QueuePair {self.node.name}:{self.qpn} -> "
+                f"{self.remote_node.name}>")
+
+
+class MulticastGroup:
+    """A hardware multicast group: UD QPs attach to receive replicated
+    datagrams. Replication happens in the switch (see Fabric.multicast)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._members: dict[int, list["UdQueuePair"]] = {}
+        self._nodes: dict[int, Node] = {}
+
+    def join(self, qp: "UdQueuePair") -> None:
+        """Attach a UD queue pair to the group."""
+        node = qp.node
+        self._members.setdefault(node.node_id, [])
+        if qp in self._members[node.node_id]:
+            raise RdmaError(f"{qp!r} already joined group {self.name!r}")
+        self._members[node.node_id].append(qp)
+        self._nodes[node.node_id] = node
+
+    def leave(self, qp: "UdQueuePair") -> None:
+        """Detach a UD queue pair from the group."""
+        members = self._members.get(qp.node.node_id, [])
+        try:
+            members.remove(qp)
+        except ValueError:
+            raise RdmaError(f"{qp!r} is not in group {self.name!r}") from None
+        if not members:
+            del self._members[qp.node.node_id]
+            del self._nodes[qp.node.node_id]
+
+    @property
+    def member_nodes(self) -> list[Node]:
+        return [self._nodes[node_id] for node_id in sorted(self._nodes)]
+
+    def members_on(self, node: Node) -> list["UdQueuePair"]:
+        return list(self._members.get(node.node_id, []))
+
+    def __len__(self) -> int:
+        return sum(len(qps) for qps in self._members.values())
+
+
+class UdQueuePair:
+    """Unreliable-datagram queue pair (multicast capable).
+
+    Delivery is best-effort: datagrams are dropped by fabric loss injection
+    or when the receiver has no receive request posted — the condition DFI's
+    credit-based receive-queue pre-population exists to avoid.
+    """
+
+    def __init__(self, nic: RNic, qpn: int, recv_cq: CompletionQueue) -> None:
+        self.nic = nic
+        self.env = nic.env
+        self.qpn = qpn
+        self.node = nic.node
+        self.recv_cq = recv_cq
+        self._recv_queue: deque[tuple[MemoryRegion, int, int, Any]] = deque()
+
+    def post_recv(self, region: MemoryRegion, offset: int, length: int,
+                  wr_id: Any = None) -> None:
+        """Post a receive buffer for incoming datagrams."""
+        region.check_range(offset, length)
+        self._recv_queue.append((region, offset, length, wr_id))
+
+    @property
+    def posted_recv_count(self) -> int:
+        return len(self._recv_queue)
+
+    def post_send_multicast(self, group: MulticastGroup,
+                            payload: bytes | bytearray | memoryview,
+                            wr_id: Any = None) -> WorkRequest:
+        """Send one datagram to every QP attached to ``group``.
+
+        Returns a work request whose ``done`` event triggers when the local
+        NIC has finished transmitting (UD has no acknowledgments).
+        """
+        data = _as_bytes(payload)
+        if not data:
+            raise RdmaError("cannot send an empty datagram")
+        if len(data) > UD_MTU:
+            raise RdmaError(
+                f"datagram of {len(data)} bytes exceeds the UD MTU "
+                f"({UD_MTU} bytes)")
+        members = group.member_nodes
+        if not members:
+            raise RdmaError(f"multicast group {group.name!r} has no members")
+        inline = len(data) <= self.nic.profile.max_inline_size
+        offset_delay = self.nic.engine_delay(inline)
+        self.nic.bytes_posted += len(data)
+        arrivals = self.node.cluster.fabric.multicast(
+            self.node, members, len(data), delay=offset_delay)
+        for member, arrival in arrivals.items():
+            if arrival is None:
+                continue  # lost in the fabric
+
+            def on_arrival(_event, member=member, data=data):
+                for qp in group.members_on(member):
+                    qp._deliver_datagram(data)
+
+            arrival.callbacks.append(on_arrival)
+        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.SEND, signaled=False,
+                         done=Event(self.env))
+        send_done = offset_delay + len(data) / self.nic.profile.link_bandwidth
+        timer = self.env.timeout(send_done)
+        timer.callbacks.append(lambda _event: wr.done.succeed())
+        return wr
+
+    def _deliver_datagram(self, data: bytes) -> None:
+        if not self._recv_queue:
+            self.nic.rx_dropped_no_recv += 1
+            return
+        region, offset, length, wr_id = self._recv_queue.popleft()
+        if len(data) > length:
+            self.nic.rx_dropped_no_recv += 1
+            return
+        region.write(offset, data)
+        self.recv_cq.push(Completion(
+            wr_id=wr_id, opcode=Opcode.RECV, status=WcStatus.SUCCESS,
+            byte_len=len(data), result=(region, offset, len(data))))
+
+    def __repr__(self) -> str:
+        return f"<UdQueuePair {self.node.name}:{self.qpn}>"

@@ -1,0 +1,35 @@
+"""Discrete-event network simulator: the substrate replacing the paper's
+InfiniBand EDR testbed (see DESIGN.md Section 2)."""
+
+from repro.simnet.cluster import Cluster
+from repro.simnet.fabric import Fabric
+from repro.simnet.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+from repro.simnet.link import Link
+from repro.simnet.node import Node
+from repro.simnet.sync import Barrier, Resource, Signal, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Link",
+    "Node",
+    "Fabric",
+    "Cluster",
+    "Store",
+    "Resource",
+    "Barrier",
+    "Signal",
+]

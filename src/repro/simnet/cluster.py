@@ -1,0 +1,65 @@
+"""Cluster builder: environment + nodes + fabric in one object.
+
+Typical setup::
+
+    cluster = Cluster(node_count=8)
+    node = cluster.node(0)
+    node.spawn(my_worker(node))
+    cluster.run()
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import DEFAULT_HARDWARE, HardwareProfile
+from repro.common.errors import ConfigurationError
+from repro.simnet.fabric import Fabric
+from repro.simnet.kernel import Environment, Event
+from repro.simnet.node import Node
+
+
+class Cluster:
+    """A simulated cluster of ``node_count`` servers behind one switch."""
+
+    def __init__(self, node_count: int,
+                 profile: HardwareProfile = DEFAULT_HARDWARE,
+                 seed: int = 0) -> None:
+        if node_count < 1:
+            raise ConfigurationError("cluster needs at least one node")
+        self.env = Environment()
+        self.profile = profile
+        self.seed = seed
+        self.nodes = [Node(self, node_id) for node_id in range(node_count)]
+        self.fabric = Fabric(self)
+
+    @property
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        """Return the node with the given id (raises on bad id)."""
+        if not 0 <= node_id < len(self.nodes):
+            raise ConfigurationError(
+                f"node id {node_id} out of range [0, {len(self.nodes)})")
+        return self.nodes[node_id]
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation (delegates to the kernel)."""
+        return self.env.run(until)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self.env.now
+
+    def total_bytes_sent(self) -> int:
+        """Sum of payload bytes scheduled on all node uplinks."""
+        return sum(node.uplink.bytes_carried for node in self.nodes)
+
+    def total_bytes_received(self) -> int:
+        """Sum of payload bytes scheduled on all node downlinks."""
+        return sum(node.downlink.bytes_carried for node in self.nodes)
+
+    def __repr__(self) -> str:
+        return f"<Cluster nodes={len(self.nodes)} t={self.env.now:.0f}ns>"

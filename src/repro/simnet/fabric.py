@@ -1,0 +1,149 @@
+"""The switch fabric: unicast and hardware-multicast message delivery.
+
+Models a single cut-through InfiniBand switch (the paper's SB7890): a
+message serializes once onto the sender's uplink, crosses the fabric after
+``wire_latency``, and serializes onto each receiver's downlink. Cut-through
+forwarding means an uncongested transfer completes at
+``start + wire_latency + size/bandwidth`` — not twice the serialization time.
+
+Multicast replicates inside the switch: the sender pays one uplink
+serialization regardless of group size, while every receiver's downlink is
+occupied independently. This is what lets the aggregate receive bandwidth of
+a replicate flow exceed the sender's link speed (paper Fig. 8b). UD
+multicast is *unreliable*: per-receiver drops are injected with the
+profile's ``multicast_loss_probability``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import SimulationError
+from repro.common.rand import derive_rng
+from repro.simnet.kernel import Timeout
+from repro.simnet.node import Node
+
+if TYPE_CHECKING:
+    from repro.simnet.cluster import Cluster
+
+
+class Fabric:
+    """Message transport between cluster nodes through one switch."""
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.profile = cluster.profile
+        self._loss_rng = derive_rng(cluster.seed, "fabric", "multicast-loss")
+        #: Last loopback delivery time per node: loopback transfers keep
+        #: FIFO order (a later-posted inline WQE has lower NIC latency and
+        #: would otherwise overtake an earlier bulk write).
+        self._loopback_last: dict[int, float] = {}
+        #: Unicast messages delivered.
+        self.unicast_count = 0
+        #: Multicast packets sent (one per multicast, not per receiver).
+        self.multicast_count = 0
+        #: Multicast receiver deliveries dropped by loss injection.
+        self.multicast_drops = 0
+
+    # -- unicast -----------------------------------------------------------
+    def unicast(self, source: Node, destination: Node, size: int,
+                delay: float = 0.0, control: bool = False) -> Timeout:
+        """Transmit ``size`` bytes from ``source`` to ``destination``.
+
+        Returns an event that triggers when the last byte has arrived at
+        the destination. ``delay`` postpones the transmission start (used
+        by the RNIC model for work-request processing time). ``control``
+        marks tiny control messages (footer/credit reads, atomics) that
+        interleave with queued bulk traffic instead of waiting behind it
+        (see ``Link.reserve_priority``). Loopback transfers (same node)
+        bypass the switch and are charged the NIC's loopback latency and
+        memory-bus copy.
+        """
+        self._check_nodes(source, destination)
+        self.unicast_count += 1
+        now = self.env.now
+        if source is destination:
+            arrival = (now + delay + self.profile.loopback_latency
+                       + size / self.profile.loopback_bandwidth)
+            arrival = max(arrival,
+                          self._loopback_last.get(source.node_id, 0.0))
+            self._loopback_last[source.node_id] = arrival
+            return self.env.timeout(arrival - now)
+        reserve_up = (source.uplink.reserve_priority if control
+                      else source.uplink.reserve)
+        reserve_down = (destination.downlink.reserve_priority if control
+                        else destination.downlink.reserve)
+        _up_start, up_end = reserve_up(size, now + delay)
+        send_start = up_end - source.uplink.serialization_time(size)
+        # Cut-through: the downlink starts clocking bytes one wire latency
+        # after the first byte left the sender.
+        _down_start, down_end = reserve_down(
+            size, send_start + self.profile.wire_latency)
+        arrival = max(down_end, up_end + self.profile.wire_latency)
+        return self.env.timeout(arrival - now)
+
+    # -- multicast -----------------------------------------------------------
+    def multicast(self, source: Node, members: list[Node], size: int,
+                  delay: float = 0.0) -> dict[Node, Timeout | None]:
+        """Replicate ``size`` bytes to all ``members`` via the switch.
+
+        Returns a mapping from member node to its arrival event, or ``None``
+        if loss injection dropped that member's copy. The source pays one
+        uplink serialization; each member pays its own downlink.
+        """
+        if not members:
+            raise SimulationError("multicast group must not be empty")
+        self._check_nodes(source, *members)
+        self.multicast_count += 1
+        now = self.env.now
+        _up_start, up_end = source.uplink.reserve(size, now + delay)
+        send_start = up_end - source.uplink.serialization_time(size)
+        arrivals: dict[Node, Timeout | None] = {}
+        loss_p = self.profile.multicast_loss_probability
+        for member in members:
+            if loss_p > 0.0 and self._loss_rng.random() < loss_p:
+                self.multicast_drops += 1
+                arrivals[member] = None
+                continue
+            if member is source:
+                arrival_at = (now + delay + self.profile.loopback_latency
+                              + size / self.profile.loopback_bandwidth)
+                arrival_at = max(arrival_at,
+                                 self._loopback_last.get(source.node_id,
+                                                         0.0))
+                self._loopback_last[source.node_id] = arrival_at
+                arrivals[member] = self.env.timeout(arrival_at - now)
+                continue
+            _d_start, d_end = member.downlink.reserve(
+                size, send_start + self.profile.wire_latency)
+            arrival = max(d_end, up_end + self.profile.wire_latency)
+            arrivals[member] = self.env.timeout(arrival - now)
+        return arrivals
+
+    # -- switch-terminated transfers (in-network processing) -----------------
+    def to_switch(self, source: Node, size: int,
+                  delay: float = 0.0) -> Timeout:
+        """Transmit ``size`` bytes from ``source`` into the switch itself
+        (for in-network processing such as SHARP aggregation). Costs the
+        uplink serialization plus half the wire latency."""
+        self._check_nodes(source)
+        now = self.env.now
+        _start, up_end = source.uplink.reserve(size, now + delay)
+        arrival = up_end + self.profile.wire_latency / 2
+        return self.env.timeout(arrival - now)
+
+    def from_switch(self, destination: Node, size: int) -> Timeout:
+        """Transmit ``size`` bytes from the switch to ``destination``:
+        the downlink serialization plus half the wire latency."""
+        self._check_nodes(destination)
+        now = self.env.now
+        _start, down_end = destination.downlink.reserve(size, now)
+        arrival = down_end + self.profile.wire_latency / 2
+        return self.env.timeout(arrival - now)
+
+    def _check_nodes(self, *nodes: Node) -> None:
+        for node in nodes:
+            if node.cluster is not self.cluster:
+                raise SimulationError(
+                    f"{node!r} does not belong to this cluster")

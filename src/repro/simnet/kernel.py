@@ -1,0 +1,395 @@
+"""Deterministic discrete-event simulation kernel.
+
+A minimal, dependency-free event loop in the spirit of SimPy: simulated
+*processes* are Python generators that ``yield`` events (timeouts, other
+processes, synchronization primitives) and are resumed when those events
+trigger. Time is a float nanosecond counter; ties are broken FIFO by a
+monotonic sequence number so runs are bit-for-bit reproducible.
+
+Example::
+
+    env = Environment()
+
+    def worker(env):
+        yield env.timeout(10)
+        return "done"
+
+    proc = env.process(worker(env))
+    env.run()
+    assert env.now == 10 and proc.value == "done"
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator, Iterable
+from typing import Any, Callable
+
+from repro.common.errors import SimulationError
+
+#: Sentinel for "event has not produced a value yet".
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three states: *pending* (created), *triggered*
+    (scheduled on the event queue with a value or an exception), and
+    *processed* (callbacks have run). Processes wait on events by yielding
+    them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_exception", "_defused",
+                 "_scheduled", "_processed")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] | None = []
+        self._value: Any = _PENDING
+        self._exception: BaseException | None = None
+        self._defused = False
+        self._scheduled = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (or exception) scheduled."""
+        return self._value is not _PENDING or self._exception is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event triggered successfully (no exception)."""
+        if not self.triggered:
+            raise SimulationError("event has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The event's result value (raises the failure exception if any)."""
+        if self._exception is not None:
+            raise self._exception
+        if self._value is _PENDING:
+            raise SimulationError("event has no value yet")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception that propagates to waiters."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._exception = exception
+        self._value = None
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so the kernel will not re-raise."""
+        self._defused = True
+
+    def __repr__(self) -> str:
+        state = ("processed" if self._processed
+                 else "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """Event that triggers automatically after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float,
+                 value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a process on the next kernel step."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._value = None
+        env._schedule(self)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A running simulated activity driven by a generator.
+
+    The process *is itself an event* that triggers when the generator
+    returns (value = the generator's return value) or raises.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        waiting = self._waiting_on
+        interrupt_event = Event(self.env)
+        interrupt_event._defused = True
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._value = None
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        interrupt_event.callbacks = [self._resume]
+        self.env._schedule(interrupt_event)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self.env._active_process = self
+        while True:
+            try:
+                if event._exception is None:
+                    target = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    target = self._generator.throw(event._exception)
+            except StopIteration as stop:
+                self.env._active_process = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                self.env._active_process = None
+                self.fail(exc)
+                return
+            if not isinstance(target, Event):
+                self.env._active_process = None
+                self.fail(SimulationError(
+                    f"process {self.name!r} yielded a non-event: {target!r}"))
+                return
+            if target._processed:
+                # Already concluded: continue immediately with its outcome.
+                event = target
+                continue
+            if target.callbacks is None:
+                raise SimulationError(
+                    f"event {target!r} is being processed; cannot wait on it")
+            target.callbacks.append(self._resume)
+            self._waiting_on = target
+            self.env._active_process = None
+            return
+
+
+class Condition(Event):
+    """Base class for :class:`AllOf` / :class:`AnyOf` composite events."""
+
+    __slots__ = ("events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        for event in self.events:
+            if event.env is not env:
+                raise SimulationError("events belong to different kernels")
+        self._remaining = len(self.events)
+        if not self.events:
+            self.succeed(self._collect())
+            return
+        for event in self.events:
+            if event._processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect(self) -> Any:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers once all child events have triggered; value is their
+    values in construction order."""
+
+    __slots__ = ()
+
+    def _collect(self) -> list[Any]:
+        return [event.value for event in self.events]
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one child triggers; value is ``(index, value)``
+    of the first child to do so."""
+
+    __slots__ = ()
+
+    def _collect(self) -> Any:
+        for index, event in enumerate(self.events):
+            if event.triggered:
+                return (index, event.value)
+        raise SimulationError("AnyOf triggered without a triggered child")
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defuse()
+            self.fail(event._exception)
+            return
+        self.succeed((self.events.index(event), event._value))
+
+
+class Environment:
+    """The simulation kernel: clock, event queue, and run loop."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ---------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` ns."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str | None = None) -> Process:
+        """Start a new process driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event triggering when all ``events`` have triggered."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event triggering when any one of ``events`` triggers."""
+        return AnyOf(self, events)
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+
+    def step(self) -> None:
+        """Process the single next event on the queue."""
+        if not self._queue:
+            raise SimulationError("event queue is empty")
+        when, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if event._exception is not None and not event._defused:
+            raise event._exception
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (drain the queue), a time (stop when the
+        clock would pass it), or an :class:`Event` (stop when it is
+        processed and return its value).
+        """
+        stop_event: Event | None = None
+        stop_time: float | None = None
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until ({stop_time}) lies in the past (now={self._now})")
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                return stop_event.value
+            if stop_time is not None and self._queue[0][0] > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+        if stop_event is not None:
+            if stop_event._processed:
+                return stop_event.value
+            raise SimulationError(
+                "run() until an event, but the queue drained before the "
+                "event triggered (deadlock?)")
+        if stop_time is not None:
+            self._now = stop_time
+        return None
+
+    def peek(self) -> float:
+        """Time of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

@@ -1,0 +1,51 @@
+"""Compute-node model: CPU cost accounting plus one full-duplex port."""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+from typing import TYPE_CHECKING, Any
+
+from repro.simnet.kernel import Event, Process, Timeout
+from repro.simnet.link import Link
+
+if TYPE_CHECKING:
+    from repro.simnet.cluster import Cluster
+
+
+class Node:
+    """One server in the cluster.
+
+    Worker "threads" are simulated processes spawned on the node via
+    :meth:`spawn`. CPU work is charged through :meth:`compute`, which scales
+    by the node's CPU frequency factor — the mechanism used to model
+    stragglers (paper Fig. 12).
+    """
+
+    def __init__(self, cluster: "Cluster", node_id: int) -> None:
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node_id = node_id
+        self.name = f"node{node_id}"
+        bandwidth = cluster.profile.link_bandwidth
+        self.uplink = Link(f"{self.name}.up", bandwidth)
+        self.downlink = Link(f"{self.name}.down", bandwidth)
+        self._cpu_scale = cluster.profile.cpu_scale(node_id)
+
+    @property
+    def cpu_scale(self) -> float:
+        """CPU frequency factor (1.0 = nominal, 0.5 = half-speed straggler)."""
+        return self._cpu_scale
+
+    def compute(self, ns: float) -> Timeout:
+        """Return a timeout charging ``ns`` of nominal CPU work, stretched
+        by the node's frequency scale."""
+        return self.env.timeout(ns / self._cpu_scale)
+
+    def spawn(self, generator: Generator[Event, Any, Any],
+              name: str | None = None) -> Process:
+        """Start a worker-thread process on this node."""
+        label = name or f"{self.name}.worker"
+        return self.env.process(generator, name=label)
+
+    def __repr__(self) -> str:
+        return f"<Node {self.name} cpu_scale={self._cpu_scale}>"

@@ -1,0 +1,17 @@
+"""Workload generators: YCSB and synthetic join relations."""
+
+from repro.workloads.tables import (
+    generate_relation,
+    partition_chunks,
+    zipf_relation,
+)
+from repro.workloads.ycsb import YcsbConfig, YcsbOperation, YcsbWorkload
+
+__all__ = [
+    "YcsbWorkload",
+    "YcsbConfig",
+    "YcsbOperation",
+    "generate_relation",
+    "zipf_relation",
+    "partition_chunks",
+]

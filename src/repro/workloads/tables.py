@@ -1,0 +1,55 @@
+"""Synthetic relation generators for the join experiments.
+
+The paper's join workload (Section 6.3.1) follows Barthels et al.: two
+relations of 16-byte ``(key, payload)`` tuples, keys of the outer relation
+drawn from the inner relation's key domain so every outer tuple has exactly
+one join partner (a primary-key / foreign-key join).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+def generate_relation(size: int, key_range: "int | None" = None,
+                      seed: int = 0, unique: bool = False) -> np.ndarray:
+    """Generate a relation as an ``(size, 2)`` uint64 array of
+    ``(key, payload)`` rows.
+
+    ``unique=True`` produces a primary-key relation (keys are a random
+    permutation of ``range(size)``); otherwise keys are drawn uniformly
+    from ``[0, key_range)`` (foreign keys).
+    """
+    if size <= 0:
+        raise ConfigurationError("relation size must be positive")
+    rng = np.random.default_rng(seed)
+    if unique:
+        keys = rng.permutation(size).astype(np.uint64)
+    else:
+        if key_range is None or key_range <= 0:
+            raise ConfigurationError(
+                "non-unique relations need a positive key_range")
+        keys = rng.integers(0, key_range, size=size, dtype=np.uint64)
+    payloads = rng.integers(0, 2 ** 32, size=size, dtype=np.uint64)
+    return np.column_stack([keys, payloads])
+
+
+def zipf_relation(size: int, key_range: int, theta: float = 1.2,
+                  seed: int = 0) -> np.ndarray:
+    """Foreign-key relation with zipf-skewed keys (for skew experiments)."""
+    if not theta > 1.0:
+        raise ConfigurationError("numpy zipf needs theta > 1")
+    rng = np.random.default_rng(seed)
+    keys = (rng.zipf(theta, size=size) - 1) % key_range
+    payloads = rng.integers(0, 2 ** 32, size=size, dtype=np.uint64)
+    return np.column_stack([keys.astype(np.uint64), payloads])
+
+
+def partition_chunks(relation: np.ndarray, parts: int) -> list[np.ndarray]:
+    """Split a relation into ``parts`` nearly equal contiguous chunks
+    (the per-worker input assignment)."""
+    if parts <= 0:
+        raise ConfigurationError("parts must be positive")
+    return [chunk for chunk in np.array_split(relation, parts)]

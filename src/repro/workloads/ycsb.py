@@ -1,0 +1,79 @@
+"""YCSB workload generator (Cooper et al., SoCC '10).
+
+The consensus experiment (paper Fig. 15) uses YCSB's read-dominated
+workload B: 95% reads, 5% writes, zipfian key popularity, 64-byte
+requests. This module reimplements the generator: deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.rand import ZipfGenerator
+
+
+class YcsbOperation(enum.Enum):
+    READ = "read"
+    UPDATE = "update"
+
+
+@dataclass(frozen=True)
+class YcsbConfig:
+    """Parameters of a YCSB workload."""
+
+    record_count: int = 10_000
+    read_proportion: float = 0.95
+    value_size: int = 56  # 8-byte key + 56-byte value = 64 B requests
+    distribution: str = "zipfian"  # or "uniform"
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.record_count <= 0:
+            raise ConfigurationError("record_count must be positive")
+        if not 0.0 <= self.read_proportion <= 1.0:
+            raise ConfigurationError("read_proportion must be in [0, 1]")
+        if self.distribution not in ("zipfian", "uniform"):
+            raise ConfigurationError(
+                f"unknown distribution {self.distribution!r}")
+
+
+@dataclass(frozen=True)
+class YcsbRequest:
+    """One generated operation."""
+
+    op: YcsbOperation
+    key: int
+    value: bytes  # empty for reads
+
+
+class YcsbWorkload:
+    """Deterministic request stream for one client."""
+
+    def __init__(self, config: YcsbConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = random.Random(f"ycsb:{seed}")
+        self._zipf = ZipfGenerator(config.record_count,
+                                   theta=config.zipf_theta, rng=self._rng)
+        self.generated = 0
+
+    def next_key(self) -> int:
+        if self.config.distribution == "uniform":
+            return self._rng.randrange(self.config.record_count)
+        return min(self._zipf.next(), self.config.record_count - 1)
+
+    def next_request(self) -> YcsbRequest:
+        """Draw the next operation from the configured mix."""
+        self.generated += 1
+        key = self.next_key()
+        if self._rng.random() < self.config.read_proportion:
+            return YcsbRequest(YcsbOperation.READ, key, b"")
+        value = self._rng.randbytes(self.config.value_size)
+        return YcsbRequest(YcsbOperation.UPDATE, key, value)
+
+    def requests(self, count: int):
+        """Yield ``count`` requests."""
+        for _ in range(count):
+            yield self.next_request()

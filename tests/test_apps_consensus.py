@@ -1,0 +1,123 @@
+"""Integration tests for Multi-Paxos, NOPaxos and DARE."""
+
+import pytest
+
+from repro.apps.consensus import run_dare, run_multipaxos, run_nopaxos
+from repro.apps.consensus.driver import ConsensusSetup
+from repro.apps.consensus.kvstore import KvStore
+from repro.apps.consensus.messages import OP_READ, OP_UPDATE, make_reqid
+from repro.common import HardwareProfile
+from repro.simnet import Cluster
+
+#: A small but meaningful load for the functional tests.
+SETUP = ConsensusSetup(offered_rate=150_000, duration=2_000_000,
+                       warmup=500_000)
+
+
+# -- KvStore -----------------------------------------------------------------
+
+def test_kvstore_read_your_write():
+    store = KvStore()
+    value = b"v" * 32
+    assert store.apply(OP_UPDATE, 5, value) == value
+    assert store.apply(OP_READ, 5, b"") == value
+
+
+def test_kvstore_missing_key_reads_zeroes():
+    store = KvStore()
+    assert store.apply(OP_READ, 99, b"") == b"\x00" * 32
+
+
+def test_kvstore_rejects_unknown_op():
+    with pytest.raises(ValueError):
+        KvStore().apply(42, 0, b"")
+
+
+def test_make_reqid_unique_across_clients():
+    ids = {make_reqid(c, s) for c in range(6) for s in range(100)}
+    assert len(ids) == 600
+
+
+# -- protocol runs ----------------------------------------------------------
+
+def test_multipaxos_completes_all_requests():
+    result = run_multipaxos(Cluster(node_count=8), SETUP)
+    assert result.completed > 0
+    assert result.issued >= result.completed
+    assert result.median_latency > 0
+    assert result.p95_latency >= result.median_latency
+
+
+def test_nopaxos_completes_all_requests():
+    result = run_nopaxos(Cluster(node_count=8), SETUP)
+    assert result.completed > 0
+    assert result.gaps_noop == 0  # lossless run: no gap agreement needed
+
+
+def test_dare_completes_all_requests():
+    result = run_dare(Cluster(node_count=8), SETUP)
+    assert result.completed > 0
+    assert result.p99_latency >= result.p95_latency >= result.median_latency
+
+
+def test_protocols_deterministic():
+    a = run_multipaxos(Cluster(node_count=8), SETUP)
+    b = run_multipaxos(Cluster(node_count=8), SETUP)
+    assert a.median_latency == b.median_latency
+    assert a.completed == b.completed
+
+
+def test_paxos_and_nopaxos_latency_near_identical_below_saturation():
+    """Paper: 'near-identical response latencies as long as they are not
+    saturated' — the sequencer round trip offsets NOPaxos' fewer delays."""
+    paxos = run_multipaxos(Cluster(node_count=8), SETUP)
+    nopaxos = run_nopaxos(Cluster(node_count=8), SETUP)
+    ratio = paxos.median_latency / nopaxos.median_latency
+    assert 0.6 < ratio < 1.8
+
+
+def test_dare_saturates_before_dfi_protocols():
+    """The Fig. 15 ordering: at a load DARE cannot sustain, the DFI
+    implementations still respond with flat latencies."""
+    heavy = ConsensusSetup(offered_rate=1_000_000, duration=3_000_000,
+                           warmup=500_000)
+    dare = run_dare(Cluster(node_count=8), heavy)
+    paxos = run_multipaxos(Cluster(node_count=8), heavy)
+    nopaxos = run_nopaxos(Cluster(node_count=8), heavy)
+    assert dare.median_latency > 5 * paxos.median_latency
+    assert dare.median_latency > 5 * nopaxos.median_latency
+
+
+def test_nopaxos_outlasts_multipaxos_under_heavy_load():
+    """Beyond the Multi-Paxos leader's capacity NOPaxos stays stable."""
+    heavy = ConsensusSetup(offered_rate=1_600_000, duration=3_000_000,
+                           warmup=500_000)
+    paxos = run_multipaxos(Cluster(node_count=8), heavy)
+    nopaxos = run_nopaxos(Cluster(node_count=8), heavy)
+    assert nopaxos.p95_latency < paxos.p95_latency / 5
+
+
+def test_nopaxos_gap_agreement_under_loss():
+    """With multicast loss injected, NOPaxos resolves gaps through the
+    leader and keeps making progress."""
+    profile = HardwareProfile(multicast_loss_probability=0.01)
+    setup = ConsensusSetup(offered_rate=100_000, duration=2_000_000,
+                           warmup=200_000, seed=3)
+    result = run_nopaxos(Cluster(node_count=8, profile=profile, seed=5),
+                         setup)
+    assert result.completed > 0
+    assert result.gaps_noop + result.gaps_recovered > 0
+
+
+def test_consensus_setup_validation():
+    from repro.common.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        ConsensusSetup(clients=5)  # does not divide over 3 client nodes
+    with pytest.raises(ConfigurationError):
+        ConsensusSetup(offered_rate=0)
+
+
+def test_majority_votes_property():
+    assert ConsensusSetup().majority_votes == 2  # 5 replicas: leader + 2
+    small = ConsensusSetup(replica_nodes=(0, 1, 2))
+    assert small.majority_votes == 1  # 3 replicas: leader + 1

@@ -1,0 +1,142 @@
+"""Integration tests for the three distributed join implementations."""
+
+import pytest
+
+from repro.apps.join import (
+    run_dfi_radix_join,
+    run_dfi_replicate_join,
+    run_mpi_radix_join,
+)
+from repro.core import FlowOptions
+from repro.simnet import Cluster
+from repro.workloads import generate_relation
+
+#: Small scale keeps the suite fast; correctness is size-independent.
+N = 16_000
+OPTS = FlowOptions(segment_size=512, source_segments=4, target_segments=4,
+                   credit_threshold=2)
+
+
+@pytest.fixture(scope="module")
+def relations():
+    inner = generate_relation(N, unique=True, seed=1)
+    outer = generate_relation(N, key_range=N, seed=2)
+    return inner, outer
+
+
+def test_dfi_radix_join_correct(relations):
+    inner, outer = relations
+    result = run_dfi_radix_join(Cluster(node_count=4), inner, outer,
+                                workers_per_node=2, options=OPTS)
+    assert result.matches == N  # PK/FK join: every outer tuple matches
+    assert result.workers == 8
+    assert set(result.phases) == {"network_partition", "local_partition",
+                                  "build_probe"}
+    assert result.runtime > 0
+
+
+def test_mpi_radix_join_correct(relations):
+    inner, outer = relations
+    result = run_mpi_radix_join(Cluster(node_count=4), inner, outer,
+                                ranks_per_node=2)
+    assert result.matches == N
+    assert set(result.phases) == {"histogram", "network_partition",
+                                  "sync_barrier", "local_partition",
+                                  "build_probe"}
+
+
+def test_mpi_join_pays_histogram_and_barrier(relations):
+    inner, outer = relations
+    result = run_mpi_radix_join(Cluster(node_count=4), inner, outer,
+                                ranks_per_node=2)
+    assert result.phases["histogram"] > 0
+    assert result.phases["sync_barrier"] >= 0
+
+
+def test_replicate_join_correct(relations):
+    inner, outer = relations
+    small_inner = generate_relation(N // 100, unique=True, seed=3)
+    small_outer = generate_relation(N, key_range=N // 100, seed=4)
+    result = run_dfi_replicate_join(Cluster(node_count=4), small_inner,
+                                    small_outer, workers_per_node=2)
+    assert result.matches == N
+    assert set(result.phases) == {"network_replication", "build", "probe"}
+
+
+def test_replicate_join_naive_transport_also_correct():
+    small_inner = generate_relation(100, unique=True, seed=5)
+    outer = generate_relation(4000, key_range=100, seed=6)
+    result = run_dfi_replicate_join(Cluster(node_count=3), small_inner,
+                                    outer, workers_per_node=2,
+                                    multicast=False)
+    assert result.matches == 4000
+
+
+def test_dfi_join_beats_mpi_at_streaming_scale():
+    """The Fig. 13 headline: with enough data per channel to stream, the
+    DFI join (no histogram, no barrier, overlap) beats the MPI join."""
+    size = 200_000
+    inner = generate_relation(size, unique=True, seed=7)
+    outer = generate_relation(size, key_range=size, seed=8)
+    options = FlowOptions(segment_size=1024, source_segments=8,
+                          target_segments=8, credit_threshold=4)
+    dfi = run_dfi_radix_join(Cluster(node_count=4), inner, outer,
+                             workers_per_node=2, options=options)
+    mpi = run_mpi_radix_join(Cluster(node_count=4), inner, outer,
+                             ranks_per_node=2)
+    assert dfi.matches == mpi.matches == size
+    assert dfi.runtime < mpi.runtime
+
+
+def test_replicate_join_beats_radix_for_small_inner():
+    """The Fig. 14 effect: with a tiny inner table, replicating it beats
+    shuffling the big outer relation."""
+    outer_size = 120_000
+    inner = generate_relation(outer_size // 100, unique=True, seed=9)
+    outer = generate_relation(outer_size, key_range=outer_size // 100,
+                              seed=10)
+    options = FlowOptions(segment_size=1024, source_segments=8,
+                          target_segments=8, credit_threshold=4)
+    radix = run_dfi_radix_join(Cluster(node_count=4), inner, outer,
+                               workers_per_node=2, options=options)
+    fr = run_dfi_replicate_join(Cluster(node_count=4), inner, outer,
+                                workers_per_node=2)
+    assert radix.matches == fr.matches == outer_size
+    assert fr.runtime < radix.runtime
+
+
+def test_join_deterministic():
+    inner = generate_relation(8_000, unique=True, seed=11)
+    outer = generate_relation(8_000, key_range=8_000, seed=12)
+    first = run_dfi_radix_join(Cluster(node_count=2), inner, outer,
+                               workers_per_node=2, options=OPTS)
+    second = run_dfi_radix_join(Cluster(node_count=2), inner, outer,
+                                workers_per_node=2, options=OPTS)
+    assert first.runtime == second.runtime
+    assert first.phases == second.phases
+
+
+def test_straggler_impact_on_joins():
+    """A half-speed node slows both joins (everyone waits for its
+    partitions) but DFI's absolute advantage survives. The clean
+    straggler asymmetry lives in the pure-shuffle experiment (Fig. 12,
+    see bench_fig12), where transfer can hide behind the slow scan."""
+    from repro.common import HardwareProfile
+    size = 100_000
+    inner = generate_relation(size, unique=True, seed=13)
+    outer = generate_relation(size, key_range=size, seed=14)
+    options = FlowOptions(segment_size=1024, source_segments=8,
+                          target_segments=8, credit_threshold=4)
+
+    def run_pair(profile):
+        dfi = run_dfi_radix_join(Cluster(node_count=4, profile=profile),
+                                 inner, outer, workers_per_node=2,
+                                 options=options)
+        mpi = run_mpi_radix_join(Cluster(node_count=4, profile=profile),
+                                 inner, outer, ranks_per_node=2)
+        return dfi.runtime, mpi.runtime
+
+    base_dfi, base_mpi = run_pair(HardwareProfile())
+    slow_dfi, slow_mpi = run_pair(HardwareProfile().with_straggler(3, 0.5))
+    assert slow_dfi > base_dfi and slow_mpi > base_mpi
+    assert slow_dfi < slow_mpi  # DFI stays ahead under the straggler

@@ -1,0 +1,63 @@
+"""Tests for the perftest baselines (ib_write_lat / ib_write_bw)."""
+
+import pytest
+
+from repro.apps.perftest import ib_write_bw, ib_write_lat
+from repro.common import HardwareProfile
+from repro.common.errors import ConfigurationError
+from repro.common.units import GIB, MICROSECONDS, SECONDS
+from repro.simnet import Cluster
+
+
+def test_write_lat_small_message_rtt():
+    """Small-message ping-pong RTT is about two wire latencies plus NIC
+    and poll costs — the Fig. 7b baseline anchor (~2 us on EDR)."""
+    cluster = Cluster(node_count=2)
+    rtts = ib_write_lat(cluster, size=16, iterations=50)
+    assert len(rtts) == 50
+    median = sorted(rtts)[25]
+    assert 2 * cluster.profile.wire_latency < median < 4 * MICROSECONDS
+
+
+def test_write_lat_grows_with_message_size():
+    cluster = Cluster(node_count=2)
+    small = sorted(ib_write_lat(cluster, size=16, iterations=20))[10]
+    cluster2 = Cluster(node_count=2)
+    large = sorted(ib_write_lat(cluster2, size=16384, iterations=20))[10]
+    assert large > small + 2 * 16384 / cluster2.profile.link_bandwidth * 0.8
+
+
+def test_write_lat_steady_state():
+    """After the first iteration the RTT is stable (deterministic model)."""
+    cluster = Cluster(node_count=2)
+    rtts = ib_write_lat(cluster, size=64, iterations=30)
+    assert max(rtts[1:]) - min(rtts[1:]) < 1.0
+
+
+def test_write_lat_validation():
+    cluster = Cluster(node_count=2)
+    with pytest.raises(ConfigurationError):
+        ib_write_lat(cluster, size=0)
+    with pytest.raises(ConfigurationError):
+        ib_write_lat(cluster, size=8, iterations=0)
+
+
+def test_write_bw_reaches_link_speed_for_large_messages():
+    cluster = Cluster(node_count=2)
+    bandwidth = ib_write_bw(cluster, size=65536, iterations=500)
+    assert bandwidth > 0.9 * cluster.profile.link_bandwidth
+
+
+def test_write_bw_small_messages_nic_limited():
+    """Tiny writes are WQE-rate limited, far below the wire speed."""
+    cluster = Cluster(node_count=2)
+    bandwidth = ib_write_bw(cluster, size=16, iterations=2000)
+    nic_limit = 16 / cluster.profile.nic_wqe_service
+    assert bandwidth < nic_limit * 1.1
+    assert bandwidth < 0.2 * cluster.profile.link_bandwidth
+
+
+def test_write_bw_validation():
+    cluster = Cluster(node_count=2)
+    with pytest.raises(ConfigurationError):
+        ib_write_bw(cluster, size=1, window=0)

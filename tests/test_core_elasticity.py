@@ -1,0 +1,189 @@
+"""Tests for the flow elasticity extension: adding/removing targets of a
+running shuffle flow (paper Section 7 future work)."""
+
+import pytest
+
+from repro.common.errors import FlowError, RegistryError
+from repro.core import (
+    FLOW_END,
+    DfiRuntime,
+    FlowOptions,
+    Schema,
+)
+from repro.simnet import Cluster
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+OPTIONS = FlowOptions(segment_size=128, source_segments=4,
+                      target_segments=4, credit_threshold=2)
+
+
+def test_scale_out_adds_target_at_runtime():
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("elastic", ["node0|0"],
+                          ["node1|0", "node2|0"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    received = {0: [], 1: [], 2: []}
+    phase_two_start = {}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("elastic", 0)
+        for i in range(200):
+            yield from source.push((i, 1))
+        # Scale out: a third target joins the running flow.
+        new_index = dfi.registry.extend_targets("elastic", "node3|0")
+        assert new_index == 2
+        cluster.env.process(target_thread(new_index))
+        yield from source.adopt_new_targets()
+        phase_two_start["t"] = env.now
+        for i in range(200, 400):
+            yield from source.push((i, 2))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("elastic", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            received[index].append(item)
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    total = received[0] + received[1] + received[2]
+    assert sorted(k for k, _v in total) == list(range(400))
+    # The late target received a share of the post-scale-out tuples...
+    assert len(received[2]) > 0
+    # ...and nothing from before it joined.
+    assert all(phase == 2 for _k, phase in received[2])
+
+
+def test_scale_in_retires_last_target():
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("shrink", ["node0|0"],
+                          ["node1|0", "node2|0", "node3|0"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    received = {0: [], 1: [], 2: []}
+    end_times = {}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("shrink", 0)
+        for i in range(150):
+            yield from source.push((i, 1))
+        yield from source.retire_target(2)
+        for i in range(150, 300):
+            yield from source.push((i, 2))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("shrink", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                end_times[index] = cluster.now
+                return
+            received[index].append(item)
+
+    cluster.env.process(source_thread(cluster.env))
+    for index in range(3):
+        cluster.env.process(target_thread(index))
+    cluster.run()
+    total = received[0] + received[1] + received[2]
+    assert sorted(k for k, _v in total) == list(range(300))
+    # The retired target saw FLOW_END and received no phase-2 tuples.
+    assert all(phase == 1 for _k, phase in received[2])
+    assert end_times[2] < end_times[0]
+    assert end_times[2] < end_times[1]
+
+
+def test_retire_validations():
+    cluster = Cluster(node_count=3)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("r", ["node0|0"], ["node1|0", "node2|0"],
+                          SCHEMA, shuffle_key="key", options=OPTIONS)
+    failures = []
+
+    def source_thread(env):
+        source = yield from dfi.open_source("r", 0)
+        try:
+            yield from source.retire_target(0)  # not the last index
+        except FlowError as exc:
+            failures.append(str(exc))
+        yield from source.retire_target(1)
+        try:
+            yield from source.retire_target(0)  # only one target left
+        except FlowError as exc:
+            failures.append(str(exc))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("r", index)
+        while (yield from target.consume()) is not FLOW_END:
+            pass
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    assert len(failures) == 2
+    assert "last target" in failures[0]
+    assert "only target" in failures[1]
+
+
+def test_extend_targets_validations():
+    cluster = Cluster(node_count=3)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("v", ["node0|0"], ["node1|0"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    with pytest.raises(RegistryError, match="already a target"):
+        dfi.registry.extend_targets("v", "node1|0")
+    with pytest.raises(RegistryError, match="outside the cluster"):
+        dfi.registry.extend_targets("v", "node9|0")
+    dfi.init_replicate_flow("rep", ["node0|0"], ["node2|0"], SCHEMA)
+    with pytest.raises(RegistryError, match="shuffle flows"):
+        dfi.registry.extend_targets("rep", "node1|0")
+
+
+def test_multiple_sources_adopt_independently():
+    """Sources adopting at different times route consistently: the grown
+    fan-out applies per source from its adoption point on."""
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("multi", ["node0|0", "node0|1"],
+                          ["node1|0", "node2|0"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    received = {0: [], 1: [], 2: []}
+    extended = {"done": False}
+
+    def source_thread(index, adopt_after):
+        source = yield from dfi.open_source("multi", index)
+        for i in range(300):
+            if i == adopt_after:
+                if not extended["done"]:
+                    extended["done"] = True
+                    new_index = dfi.registry.extend_targets("multi",
+                                                            "node3|0")
+                    cluster.env.process(target_thread(new_index))
+                yield from source.adopt_new_targets()
+            yield from source.push((index * 1000 + i, index))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("multi", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            received[index].append(item)
+
+    cluster.env.process(source_thread(0, 100))
+    cluster.env.process(source_thread(1, 200))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    total = received[0] + received[1] + received[2]
+    assert len(total) == 600
+    assert len(received[2]) > 0

@@ -1,0 +1,211 @@
+"""Property-based and adversarial tests for flow invariants.
+
+Hypothesis drives randomized workloads through the flows and checks the
+end-to-end invariants the protocol must preserve:
+
+* every pushed tuple is consumed exactly once (no loss, no duplication);
+* per-channel FIFO order;
+* global-order agreement across replicate targets, under loss;
+* determinism of complete runs.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common import HardwareProfile
+from repro.core import (
+    FLOW_END,
+    DfiRuntime,
+    FlowOptions,
+    GapNotification,
+    Optimization,
+    Ordering,
+    Schema,
+)
+from repro.simnet import Cluster
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+
+_SETTINGS = settings(max_examples=12, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_shuffle(tuples_per_source, sources, targets, optimization,
+                options, seed=0):
+    cluster = Cluster(node_count=max(sources, targets) + 1, seed=seed)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow(
+        "prop",
+        [f"node0|{t}" for t in range(sources)],
+        [f"node{1 + n % (cluster.node_count - 1)}|{n}"
+         for n in range(targets)],
+        SCHEMA, shuffle_key="key", optimization=optimization,
+        options=options)
+    received = {i: [] for i in range(targets)}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("prop", index)
+        for i, values in enumerate(tuples_per_source[index]):
+            yield from source.push(values)
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("prop", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            received[index].append(item)
+
+    for s in range(sources):
+        cluster.env.process(source_thread(s))
+    for t in range(targets):
+        cluster.env.process(target_thread(t))
+    cluster.run()
+    return received
+
+
+@_SETTINGS
+@given(st.lists(st.tuples(st.integers(0, 2 ** 63), st.integers(0, 2 ** 63)),
+                min_size=0, max_size=300),
+       st.sampled_from([Optimization.BANDWIDTH, Optimization.LATENCY]),
+       st.integers(1, 3), st.integers(1, 3))
+def test_exactly_once_delivery(tuples, optimization, sources, targets):
+    """Every pushed tuple arrives exactly once, across modes/topologies."""
+    per_source = [tuples[i::sources] for i in range(sources)]
+    options = FlowOptions(segment_size=256, source_segments=4,
+                          target_segments=4, credit_threshold=2)
+    received = run_shuffle(per_source, sources, targets, optimization,
+                           options)
+    all_received = sorted(item for rows in received.values()
+                          for item in rows)
+    assert all_received == sorted(tuples)
+
+
+@_SETTINGS
+@given(st.integers(10, 400), st.integers(2, 6))
+def test_channel_fifo_order_property(count, target_count):
+    """Tuples pushed by one source arrive in order at each target."""
+    tuples = [(i, i) for i in range(count)]
+    options = FlowOptions(segment_size=128, source_segments=2,
+                          target_segments=3, credit_threshold=1)
+    received = run_shuffle([tuples], 1, target_count,
+                           Optimization.BANDWIDTH, options)
+    for rows in received.values():
+        keys = [k for k, _v in rows]
+        assert keys == sorted(keys)
+
+
+@_SETTINGS
+@given(st.integers(1, 300), st.floats(0.0, 0.15), st.integers(0, 1000))
+def test_ordered_multicast_agreement_under_loss(count, loss, seed):
+    """All targets of an ordered replicate flow deliver the identical
+    sequence, for any loss rate the retransmission path can recover."""
+    profile = HardwareProfile(multicast_loss_probability=loss)
+    cluster = Cluster(node_count=4, profile=profile, seed=seed)
+    dfi = DfiRuntime(cluster)
+    dfi.init_replicate_flow(
+        "rep", ["node0|0"], ["node1|0", "node2|0", "node3|0"], SCHEMA,
+        optimization=Optimization.LATENCY, ordering=Ordering.GLOBAL,
+        options=FlowOptions(multicast=True, retransmit_timeout=15_000))
+    received = {i: [] for i in range(3)}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("rep", 0)
+        for i in range(count):
+            yield from source.push((i, i * 3))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("rep", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            received[index].append(item)
+
+    cluster.env.process(source_thread(cluster.env))
+    for i in range(3):
+        cluster.env.process(target_thread(i))
+    cluster.run()
+    assert received[0] == received[1] == received[2]
+    assert received[0] == [(i, i * 3) for i in range(count)]
+
+
+@_SETTINGS
+@given(st.integers(0, 10 ** 6))
+def test_complete_run_determinism(seed):
+    """Identical seeds produce bit-identical runs (timing included)."""
+    def run_once():
+        tuples = [(i * 7 % 97, i) for i in range(200)]
+        options = FlowOptions(segment_size=256, source_segments=4,
+                              target_segments=4, credit_threshold=2)
+        cluster = Cluster(node_count=3, seed=seed)
+        dfi = DfiRuntime(cluster)
+        dfi.init_shuffle_flow("det", ["node0|0"], ["node1|0", "node2|0"],
+                              SCHEMA, shuffle_key="key", options=options)
+        out = []
+
+        def source_thread(env):
+            source = yield from dfi.open_source("det", 0)
+            for values in tuples:
+                yield from source.push(values)
+            yield from source.close()
+
+        def target_thread(index):
+            target = yield from dfi.open_target("det", index)
+            while True:
+                item = yield from target.consume()
+                if item is FLOW_END:
+                    return
+                out.append((index, item, cluster.now))
+
+        cluster.env.process(source_thread(cluster.env))
+        cluster.env.process(target_thread(0))
+        cluster.env.process(target_thread(1))
+        cluster.run()
+        return out, cluster.now
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+
+
+def test_gap_notify_delivered_prefix_is_subsequence():
+    """Under heavy loss with application-side skips, whatever is
+    delivered is a subsequence of the pushed order on every target."""
+    profile = HardwareProfile(multicast_loss_probability=0.3)
+    cluster = Cluster(node_count=3, profile=profile, seed=99)
+    dfi = DfiRuntime(cluster)
+    dfi.init_replicate_flow(
+        "rep", ["node0|0"], ["node1|0", "node2|0"], SCHEMA,
+        optimization=Optimization.LATENCY, ordering=Ordering.GLOBAL,
+        options=FlowOptions(multicast=True, gap_notify=True,
+                            retransmit_timeout=8_000))
+    received = {0: [], 1: []}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("rep", 0)
+        for i in range(300):
+            yield from source.push((i, i))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("rep", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            if isinstance(item, GapNotification):
+                target.skip_gap(item.missing_seq)
+                continue
+            received[index].append(item[0])
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    pushed = list(range(300))
+    for keys in received.values():
+        assert keys == sorted(keys)  # monotone: a subsequence of pushed
+        assert set(keys) <= set(pushed)
+        assert len(keys) > 0

@@ -1,0 +1,169 @@
+"""Flows between threads on the same node (loopback transfers).
+
+The paper's thread-centric model allows sources and targets to share a
+node; transfers then go through the local NIC loopback rather than the
+switch. These tests pin down correctness and the absence of wire traffic.
+"""
+
+import pytest
+
+from repro.core import (
+    FLOW_END,
+    AggregationSpec,
+    DfiRuntime,
+    FlowOptions,
+    Optimization,
+    Schema,
+)
+from repro.simnet import Cluster
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+OPTIONS = FlowOptions(segment_size=256, source_segments=4,
+                      target_segments=4, credit_threshold=2)
+
+
+def test_same_node_shuffle_uses_no_wire():
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("local", ["node0|0"], ["node0|1"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    out = []
+
+    def source_thread(env):
+        source = yield from dfi.open_source("local", 0)
+        for i in range(300):
+            yield from source.push((i, i))
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("local", 0)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            out.append(item)
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    assert out == [(i, i) for i in range(300)]
+    assert cluster.node(0).uplink.bytes_carried == 0
+    assert cluster.node(0).downlink.bytes_carried == 0
+
+
+def test_same_node_latency_flow():
+    cluster = Cluster(node_count=1)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("local", ["node0|0"], ["node0|1"], SCHEMA,
+                          optimization=Optimization.LATENCY,
+                          options=OPTIONS)
+    out = []
+
+    def source_thread(env):
+        source = yield from dfi.open_source("local", 0)
+        for i in range(100):
+            yield from source.push((i, i))
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("local", 0)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            out.append(item)
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    assert out == [(i, i) for i in range(100)]
+
+
+def test_mixed_local_and_remote_targets():
+    """An N:M flow where one target shares the source's node: both the
+    loopback and the wire path deliver, contents intact."""
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("mix", ["node0|0"], ["node0|1", "node1|0"],
+                          SCHEMA, shuffle_key="key", options=OPTIONS)
+    received = {0: [], 1: []}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("mix", 0)
+        for i in range(400):
+            yield from source.push((i, i))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("mix", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            received[index].append(item)
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    total = sorted(received[0] + received[1])
+    assert total == [(i, i) for i in range(400)]
+    assert received[0] and received[1]
+    # Only the remote target's share crossed the wire.
+    assert 0 < cluster.node(0).uplink.bytes_carried < 400 * 16 * 2
+
+
+def test_same_node_combiner():
+    cluster = Cluster(node_count=1)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "agg", sources=["node0|1", "node0|2"], target="node0|0",
+        schema=SCHEMA,
+        aggregation=AggregationSpec("sum", "key", "value"),
+        options=OPTIONS)
+    result = {}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("agg", index)
+        for i in range(50):
+            yield from source.push((i % 5, 2))
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("agg")
+        aggregates = yield from target.consume_all()
+        result.update(aggregates)
+
+    cluster.env.process(source_thread(0))
+    cluster.env.process(source_thread(1))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    assert result == {k: 40 for k in range(5)}
+
+
+def test_local_transfer_is_faster_than_remote():
+    def run(target_spec):
+        cluster = Cluster(node_count=2)
+        dfi = DfiRuntime(cluster)
+        dfi.init_shuffle_flow("t", ["node0|0"], [target_spec], SCHEMA,
+                              shuffle_key="key", options=OPTIONS)
+        done = {}
+
+        def source_thread(env):
+            source = yield from dfi.open_source("t", 0)
+            for i in range(500):
+                yield from source.push((i, i))
+            yield from source.close()
+
+        def target_thread(env):
+            target = yield from dfi.open_target("t", 0)
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+            done["t"] = cluster.now
+
+        cluster.env.process(source_thread(cluster.env))
+        cluster.env.process(target_thread(cluster.env))
+        cluster.run()
+        return done["t"]
+
+    assert run("node0|1") < run("node1|0")

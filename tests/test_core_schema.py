@@ -1,0 +1,141 @@
+"""Tests for DFI's type system and schemas."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import SchemaError
+from repro.core import Schema, fixed_bytes
+from repro.core.types import BUILTIN_TYPES, UINT64, resolve_type
+
+
+# -- types -------------------------------------------------------------------
+
+def test_builtin_type_sizes_follow_lp64():
+    assert BUILTIN_TYPES["int32"].size == 4
+    assert BUILTIN_TYPES["int64"].size == 8
+    assert BUILTIN_TYPES["double"].size == 8
+    assert BUILTIN_TYPES["char"].size == 1
+
+
+def test_resolve_type_from_name_object_and_int():
+    assert resolve_type("uint64") is UINT64
+    assert resolve_type(UINT64) is UINT64
+    assert resolve_type(12).size == 12
+
+
+def test_resolve_unknown_type_name():
+    with pytest.raises(SchemaError, match="unknown type name"):
+        resolve_type("decimal")
+
+
+def test_fixed_bytes_validation():
+    with pytest.raises(SchemaError):
+        fixed_bytes(0)
+    assert fixed_bytes(7).size == 7
+
+
+# -- schema construction -------------------------------------------------------
+
+def test_schema_offsets_and_size():
+    schema = Schema(("a", "uint32"), ("b", "uint64"), ("c", "double"))
+    assert schema.tuple_size == 20
+    assert schema.offset_of("a") == 0
+    assert schema.offset_of("b") == 4
+    assert schema.offset_of("c") == 12
+    assert schema.arity == 3
+
+
+def test_schema_rejects_empty():
+    with pytest.raises(SchemaError):
+        Schema()
+
+
+def test_schema_rejects_duplicate_names():
+    with pytest.raises(SchemaError, match="duplicate"):
+        Schema(("x", "uint64"), ("x", "uint32"))
+
+
+def test_schema_rejects_bad_field_entry():
+    with pytest.raises(SchemaError):
+        Schema("not-a-pair")
+    with pytest.raises(SchemaError):
+        Schema(("", "uint64"))
+
+
+def test_field_index_by_name_and_position():
+    schema = Schema(("k", "uint64"), ("v", "uint64"))
+    assert schema.field_index("v") == 1
+    assert schema.field_index(0) == 0
+    with pytest.raises(SchemaError):
+        schema.field_index("missing")
+    with pytest.raises(SchemaError):
+        schema.field_index(5)
+
+
+# -- pack / unpack ----------------------------------------------------------
+
+def test_pack_unpack_roundtrip():
+    schema = Schema(("k", "uint64"), ("f", "double"), ("pad", 4))
+    raw = schema.pack((42, 3.5, b"abcd"))
+    assert len(raw) == schema.tuple_size
+    assert schema.unpack(raw) == (42, 3.5, b"abcd")
+
+
+def test_pack_rejects_wrong_arity_or_type():
+    schema = Schema(("k", "uint64"),)
+    with pytest.raises(SchemaError):
+        schema.pack((1, 2))
+    with pytest.raises(SchemaError):
+        schema.pack(("text",))
+
+
+def test_pack_into_and_unpack_from():
+    schema = Schema(("k", "uint32"), ("v", "uint32"))
+    buffer = bytearray(64)
+    schema.pack_into(buffer, 8, (7, 9))
+    assert schema.unpack_from(buffer, 8) == (7, 9)
+
+
+def test_unpack_many_segment_payload():
+    schema = Schema(("k", "uint32"),)
+    buffer = bytearray()
+    for i in range(10):
+        buffer += schema.pack((i,))
+    tuples = schema.unpack_many(buffer, 10)
+    assert tuples == [(i,) for i in range(10)]
+
+
+def test_unpack_wrong_size_rejected():
+    schema = Schema(("k", "uint64"),)
+    with pytest.raises(SchemaError):
+        schema.unpack(b"\x00" * 4)
+
+
+def test_schema_equality_and_hash():
+    a = Schema(("k", "uint64"), ("v", "uint32"))
+    b = Schema(("k", "uint64"), ("v", "uint32"))
+    c = Schema(("k", "uint64"), ("v", "uint64"))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+
+
+# -- property-based: pack/unpack identity -------------------------------------
+
+@given(st.lists(st.tuples(st.integers(0, 2 ** 64 - 1),
+                          st.integers(-2 ** 31, 2 ** 31 - 1)),
+                min_size=1, max_size=50))
+def test_pack_unpack_identity_property(rows):
+    schema = Schema(("key", "uint64"), ("value", "int32"))
+    payload = bytearray()
+    for row in rows:
+        payload += schema.pack(row)
+    assert schema.unpack_many(payload, len(rows)) == rows
+
+
+@given(st.integers(0, 2 ** 64 - 1), st.floats(allow_nan=False,
+                                              allow_infinity=False,
+                                              width=64))
+def test_mixed_schema_roundtrip_property(key, value):
+    schema = Schema(("k", "uint64"), ("v", "double"))
+    assert schema.unpack(schema.pack((key, value))) == (key, value)

@@ -1,0 +1,142 @@
+"""Tests for the SHARP-style in-network aggregation extension."""
+
+import pytest
+
+from repro.common.errors import FlowError
+from repro.common.units import gbps_to_bytes_per_ns
+from repro.core import (
+    AggregationSpec,
+    DfiRuntime,
+    FlowOptions,
+    Schema,
+)
+from repro.simnet import Cluster
+
+SCHEMA = Schema(("group", "uint64"), ("value", "int64"))
+LINK = gbps_to_bytes_per_ns(100.0)
+
+
+def run_sharp(op, rows_per_source, sources=3, node_count=4,
+              options_extra=None):
+    cluster = Cluster(node_count=node_count)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "sharp", sources=[f"node{i + 1}|0" for i in range(sources)],
+        target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec(op=op, group_by="group",
+                                    value="value"),
+        options=FlowOptions(in_network_aggregation=True,
+                            **(options_extra or {})))
+    result = {}
+    holder = {}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("sharp", index)
+        for row in rows_per_source(index):
+            yield from source.push(row)
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("sharp")
+        holder["target"] = target
+        aggregates = yield from target.consume_all()
+        result.update(aggregates)
+
+    for s in range(sources):
+        cluster.env.process(source_thread(s))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    return result, holder["target"], cluster
+
+
+def test_sharp_sum_matches_end_host_semantics():
+    result, _target, _cluster = run_sharp(
+        "sum", lambda i: [(g, 10) for g in range(5)])
+    assert result == {g: 30 for g in range(5)}
+
+
+def test_sharp_count():
+    result, _target, _cluster = run_sharp(
+        "count", lambda i: [(g, g) for g in range(4)] * 3)
+    assert result == {g: 9 for g in range(4)}
+
+
+def test_sharp_min_max():
+    result_min, _t, _c = run_sharp("min", lambda i: [(0, i * 10 - 5)])
+    assert result_min == {0: -5}
+    result_max, _t, _c = run_sharp("max", lambda i: [(0, i * 10 - 5)])
+    assert result_max == {0: 15}
+
+
+def test_sharp_large_flow_correctness():
+    """Many segments, periodic partial emission, multiple groups."""
+    result, target, _cluster = run_sharp(
+        "sum", lambda i: [(g % 16, 1) for g in range(2000)])
+    assert result == {g: 3 * 125 for g in range(16)}
+    assert target.partial_segments > 1  # periodic emission happened
+
+
+def test_sharp_reduces_target_inbound_traffic():
+    """The headline: the switch forwards far fewer bytes than it takes
+    in — the target's in-going link stops being the bottleneck."""
+    result, target, cluster = run_sharp(
+        "sum", lambda i: [(g % 8, 1) for g in range(4000)])
+    stats = target.switch_stats
+    assert stats["bytes_in"] > 10 * stats["bytes_out"]
+    # The target's downlink carried only the partials.
+    assert cluster.node(0).downlink.bytes_carried == stats["bytes_out"]
+
+
+def test_sharp_aggregate_bandwidth_beyond_target_link():
+    """Aggregated sender bandwidth exceeds the single-link cap of the
+    end-host combiner (paper Fig. 9's stated limitation)."""
+    from repro.common.units import GIB, SECONDS
+    cluster = Cluster(node_count=9)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "agg", sources=[f"node{i + 1}|{t}" for i in range(8)
+                        for t in range(2)],
+        target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec("sum", "group", "value"),
+        options=FlowOptions(in_network_aggregation=True))
+    per_source = 30_000
+    window = {"start": None, "end": None}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("agg", index)
+        if window["start"] is None:
+            window["start"] = cluster.now
+        for i in range(per_source):
+            yield from source.push((i % 64, 1))
+        yield from source.close()
+
+    def target_thread(env):
+        target = yield from dfi.open_target("agg")
+        yield from target.consume_all()
+        window["end"] = cluster.now
+
+    for index in range(16):
+        cluster.env.process(source_thread(index))
+    cluster.env.process(target_thread(cluster.env))
+    cluster.run()
+    payload = 16 * per_source * SCHEMA.tuple_size
+    bandwidth = payload / (window["end"] - window["start"])
+    assert bandwidth > 1.5 * LINK  # beyond the end-host combiner's cap
+
+
+def test_sharp_requires_flag_on_target_open():
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "plain", sources=["node1|0"], target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec("sum", "group", "value"))
+    from repro.core.sharp import SharpCombinerTarget
+    with pytest.raises(FlowError, match="in-network"):
+        SharpCombinerTarget.open(dfi.registry, "plain")
+
+
+def test_sharp_deterministic():
+    first = run_sharp("sum", lambda i: [(g % 8, g) for g in range(500)])
+    second = run_sharp("sum", lambda i: [(g % 8, g) for g in range(500)])
+    assert first[0] == second[0]
+    assert first[2].now == second[2].now

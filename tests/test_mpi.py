@@ -1,0 +1,413 @@
+"""Tests for the MPI baseline: point-to-point, collectives, threading."""
+
+import pytest
+
+from repro.common.config import MpiProfile
+from repro.common.errors import MpiError
+from repro.mpi import ANY_SOURCE, Communicator, MpiRuntime, ThreadingLevel
+from repro.simnet import Cluster
+
+
+def make_world(node_count=2, ranks_per_node=1, **kwargs):
+    cluster = Cluster(node_count=node_count)
+    runtime = MpiRuntime(cluster, ranks_per_node=ranks_per_node, **kwargs)
+    return cluster, runtime
+
+
+# -- point-to-point ----------------------------------------------------------
+
+def test_send_recv_eager():
+    cluster, runtime = make_world()
+    received = {}
+
+    def sender(comm):
+        yield from comm.send(1, "hello", size=64)
+
+    def receiver(comm):
+        payload, size, source = yield from comm.recv()
+        received.update(payload=payload, size=size, source=source)
+
+    cluster.env.process(sender(Communicator(runtime, 0)))
+    cluster.env.process(receiver(Communicator(runtime, 1)))
+    cluster.run()
+    assert received == {"payload": "hello", "size": 64, "source": 0}
+
+
+def test_send_recv_rendezvous_large_message():
+    cluster, runtime = make_world()
+    profile = runtime.profile
+    received = {}
+    timeline = {}
+
+    def sender(comm):
+        yield from comm.send(1, b"big", size=profile.eager_threshold * 4)
+        timeline["send_done"] = comm.node.env.now
+
+    def receiver(comm):
+        yield comm.node.env.timeout(50_000)  # receiver arrives late
+        payload, size, source = yield from comm.recv()
+        received["payload"] = payload
+        timeline["recv_done"] = comm.node.env.now
+
+    cluster.env.process(sender(Communicator(runtime, 0)))
+    cluster.env.process(receiver(Communicator(runtime, 1)))
+    cluster.run()
+    assert received["payload"] == b"big"
+    # Rendezvous: the send cannot complete before the receiver matched.
+    assert timeline["send_done"] >= 50_000
+
+
+def test_eager_send_completes_before_recv_posted():
+    cluster, runtime = make_world()
+    timeline = {}
+
+    def sender(comm):
+        yield from comm.send(1, "small", size=8)
+        timeline["send_done"] = comm.node.env.now
+
+    def receiver(comm):
+        yield comm.node.env.timeout(100_000)
+        yield from comm.recv()
+
+    cluster.env.process(sender(Communicator(runtime, 0)))
+    cluster.env.process(receiver(Communicator(runtime, 1)))
+    cluster.run()
+    assert timeline["send_done"] < 100_000  # fire-and-forget
+
+
+def test_recv_filters_by_source_and_tag():
+    cluster, runtime = make_world(node_count=3)
+    order = []
+
+    def sender(comm, dest, tag, label):
+        yield from comm.send(dest, label, size=16, tag=tag)
+
+    def receiver(comm):
+        payload, _size, _src = yield from comm.recv(source=2, tag=7)
+        order.append(payload)
+        payload, _size, _src = yield from comm.recv(source=ANY_SOURCE)
+        order.append(payload)
+
+    cluster.env.process(sender(Communicator(runtime, 1), 0, 1, "wrong-tag"))
+    cluster.env.process(sender(Communicator(runtime, 2), 0, 7, "match"))
+    cluster.env.process(receiver(Communicator(runtime, 0)))
+    cluster.run()
+    assert order == ["match", "wrong-tag"]
+
+
+def test_per_message_overhead_dominates_small_tuples():
+    """The Fig. 10a effect: runtime per byte explodes for tiny messages."""
+    def run(tuple_size, count):
+        cluster, runtime = make_world()
+
+        def sender(comm):
+            for i in range(count):
+                yield from comm.send(1, i, size=tuple_size)
+
+        def receiver(comm):
+            for _ in range(count):
+                yield from comm.recv()
+
+        cluster.env.process(sender(Communicator(runtime, 0)))
+        cluster.env.process(receiver(Communicator(runtime, 1)))
+        cluster.run()
+        return cluster.now / (count * tuple_size)  # ns per byte
+
+    small = run(16, 200)
+    large = run(4096, 200)
+    assert small > 10 * large
+
+
+def test_multithreaded_latch_contention_degrades_throughput():
+    """The Fig. 10b collapse: more threads per rank, *lower* throughput."""
+    def run(threads):
+        cluster, runtime = make_world(
+            threading=ThreadingLevel.MULTIPLE)
+        per_thread = 200
+
+        def sender(comm):
+            for i in range(per_thread):
+                yield from comm.send(1, i, size=64)
+
+        def receiver(comm):
+            for _ in range(per_thread * threads):
+                yield from comm.recv()
+
+        comm0 = Communicator(runtime, 0)
+        for _ in range(threads):
+            cluster.env.process(sender(comm0))
+        cluster.env.process(receiver(Communicator(runtime, 1)))
+        cluster.run()
+        total = per_thread * threads * 64
+        return total / cluster.now  # bytes/ns
+
+    one = run(1)
+    eight = run(8)
+    assert eight < one  # adding threads makes MPI slower
+
+
+def test_multiprocess_scales_where_threads_do_not():
+    def run_threads(workers):
+        cluster, runtime = make_world(threading=ThreadingLevel.MULTIPLE)
+        count = 150
+
+        def sender(comm):
+            for i in range(count):
+                yield from comm.send(1, i, size=64)
+
+        def receiver(comm):
+            for _ in range(count * workers):
+                yield from comm.recv()
+
+        comm = Communicator(runtime, 0)
+        for _ in range(workers):
+            cluster.env.process(sender(comm))
+        cluster.env.process(receiver(Communicator(runtime, 1)))
+        cluster.run()
+        return count * workers * 64 / cluster.now
+
+    def run_procs(workers):
+        cluster = Cluster(node_count=2)
+        runtime = MpiRuntime(cluster, ranks_per_node=workers)
+        count = 150
+        # Ranks 0..workers-1 on node 0 send; ranks workers.. on node 1 recv.
+
+        def sender(comm, dest):
+            for i in range(count):
+                yield from comm.send(dest, i, size=64)
+
+        def receiver(comm):
+            for _ in range(count):
+                yield from comm.recv()
+
+        for w in range(workers):
+            cluster.env.process(
+                sender(Communicator(runtime, w), workers + w))
+            cluster.env.process(
+                receiver(Communicator(runtime, workers + w)))
+        cluster.run()
+        return count * workers * 64 / cluster.now
+
+    threads8 = run_threads(8)
+    procs8 = run_procs(8)
+    assert procs8 > threads8  # multi-process beats THREAD_MULTIPLE
+
+
+def test_shm_access_surcharge():
+    cluster, runtime = make_world()
+    comm = Communicator(runtime, 0)
+
+    def worker(comm):
+        yield from comm.charge_shm_access(1_000_000)
+
+    cluster.env.process(worker(comm))
+    cluster.run()
+    assert cluster.now == pytest.approx(
+        1_000_000 * runtime.profile.shm_access_per_byte)
+
+
+# -- collectives ---------------------------------------------------------------
+
+def test_barrier_synchronizes_all_ranks():
+    cluster, runtime = make_world(node_count=4)
+    release_times = []
+
+    def worker(comm, delay):
+        yield comm.node.env.timeout(delay)
+        yield from comm.barrier()
+        release_times.append(comm.node.env.now)
+
+    for rank, delay in enumerate((10, 10_000, 500, 70_000)):
+        cluster.env.process(worker(Communicator(runtime, rank), delay))
+    cluster.run()
+    assert len(release_times) == 4
+    assert max(release_times) - min(release_times) < 10_000  # together
+
+
+def test_alltoall_exchanges_rows():
+    cluster, runtime = make_world(node_count=4)
+    results = {}
+
+    def worker(comm):
+        chunks = [((comm.rank, dest), 128) for dest in range(comm.size)]
+        received = yield from comm.alltoall(chunks)
+        results[comm.rank] = received
+
+    for rank in range(4):
+        cluster.env.process(worker(Communicator(runtime, rank)))
+    cluster.run()
+    for rank in range(4):
+        assert results[rank] == [(src, rank) for src in range(4)]
+
+
+def test_alltoall_is_bulk_synchronous():
+    """No rank finishes before the slowest rank has entered (Fig. 12)."""
+    cluster, runtime = make_world(node_count=3)
+    finish = {}
+    straggler_delay = 2_000_000
+
+    def worker(comm, delay):
+        yield comm.node.env.timeout(delay)
+        chunks = [(None, 256) for _ in range(comm.size)]
+        yield from comm.alltoall(chunks)
+        finish[comm.rank] = comm.node.env.now
+
+    for rank, delay in enumerate((0, 0, straggler_delay)):
+        cluster.env.process(worker(Communicator(runtime, rank), delay))
+    cluster.run()
+    assert min(finish.values()) >= straggler_delay
+
+
+def test_alltoall_chunk_count_validated():
+    cluster, runtime = make_world(node_count=2)
+
+    def worker(comm):
+        yield from comm.alltoall([(None, 8)])  # world size is 2
+
+    cluster.env.process(worker(Communicator(runtime, 0)))
+    with pytest.raises(MpiError, match="one chunk per rank"):
+        cluster.run()
+
+
+def test_bcast_delivers_to_all():
+    cluster, runtime = make_world(node_count=4)
+    got = {}
+
+    def worker(comm):
+        payload = "from-root" if comm.rank == 0 else None
+        result = yield from comm.bcast(payload, size=1024, root=0)
+        got[comm.rank] = result
+
+    for rank in range(4):
+        cluster.env.process(worker(Communicator(runtime, rank)))
+    cluster.run()
+    assert got == {r: "from-root" for r in range(4)}
+
+
+def test_gather_collects_at_root():
+    cluster, runtime = make_world(node_count=3)
+    got = {}
+
+    def worker(comm):
+        result = yield from comm.gather(comm.rank * 11, size=64, root=0)
+        got[comm.rank] = result
+
+    for rank in range(3):
+        cluster.env.process(worker(Communicator(runtime, rank)))
+    cluster.run()
+    assert got[0] == [0, 11, 22]
+    assert got[1] is None and got[2] is None
+
+
+def test_scatter_distributes_from_root():
+    cluster, runtime = make_world(node_count=3)
+    got = {}
+
+    def worker(comm):
+        chunks = ([(f"part{i}", 64) for i in range(3)]
+                  if comm.rank == 0 else None)
+        result = yield from comm.scatter(chunks, root=0)
+        got[comm.rank] = result
+
+    for rank in range(3):
+        cluster.env.process(worker(Communicator(runtime, rank)))
+    cluster.run()
+    assert got == {0: "part0", 1: "part1", 2: "part2"}
+
+
+def test_allreduce_sum():
+    cluster, runtime = make_world(node_count=4)
+    got = {}
+
+    def worker(comm):
+        result = yield from comm.allreduce(comm.rank + 1, size=8,
+                                           op=lambda a, b: a + b)
+        got[comm.rank] = result
+
+    for rank in range(4):
+        cluster.env.process(worker(Communicator(runtime, rank)))
+    cluster.run()
+    assert got == {r: 10 for r in range(4)}
+
+
+def test_rank_placement():
+    cluster = Cluster(node_count=2)
+    runtime = MpiRuntime(cluster, ranks_per_node=3)
+    assert runtime.world_size == 6
+    assert runtime.rank_object(0).node.node_id == 0
+    assert runtime.rank_object(3).node.node_id == 1
+    with pytest.raises(MpiError):
+        runtime.rank_object(6)
+
+
+def test_runtime_validations():
+    cluster = Cluster(node_count=1)
+    with pytest.raises(MpiError):
+        MpiRuntime(cluster, ranks_per_node=0)
+
+
+def test_isend_overlaps_computation():
+    """Non-blocking send: the sender computes while the rendezvous waits."""
+    cluster, runtime = make_world()
+    profile = runtime.profile
+    timeline = {}
+
+    def sender(comm):
+        handle = yield from comm.isend(1, b"bulk",
+                                       size=profile.eager_threshold * 4)
+        timeline["posted"] = comm.node.env.now
+        yield comm.node.compute(40_000)  # overlapped work
+        timeline["computed"] = comm.node.env.now
+        yield from handle.wait()
+        timeline["sent"] = comm.node.env.now
+
+    def receiver(comm):
+        yield comm.node.env.timeout(100_000)
+        yield from comm.recv()
+
+    cluster.env.process(sender(Communicator(runtime, 0)))
+    cluster.env.process(receiver(Communicator(runtime, 1)))
+    cluster.run()
+    assert timeline["posted"] < 10_000  # isend returned immediately
+    assert timeline["computed"] < 100_000  # compute ran during the wait
+    assert timeline["sent"] >= 100_000  # rendezvous waited for the recv
+
+
+def test_irecv_wait_returns_payload():
+    cluster, runtime = make_world()
+    got = {}
+
+    def receiver(comm):
+        handle = yield from comm.irecv()
+        assert not handle.complete
+        payload, size, source = yield from handle.wait()
+        got.update(payload=payload, size=size, source=source)
+
+    def sender(comm):
+        yield comm.node.env.timeout(5_000)
+        yield from comm.send(0, "late-data", size=32)
+
+    cluster.env.process(receiver(Communicator(runtime, 0)))
+    cluster.env.process(sender(Communicator(runtime, 1)))
+    cluster.run()
+    assert got == {"payload": "late-data", "size": 32, "source": 1}
+
+
+def test_irecv_wait_after_completion():
+    cluster, runtime = make_world()
+    got = {}
+
+    def receiver(comm):
+        handle = yield from comm.irecv()
+        yield comm.node.env.timeout(50_000)  # message arrives meanwhile
+        assert handle.complete
+        payload, _size, _source = yield from handle.wait()
+        got["payload"] = payload
+
+    def sender(comm):
+        yield from comm.send(0, "early", size=16)
+
+    cluster.env.process(receiver(Communicator(runtime, 0)))
+    cluster.env.process(sender(Communicator(runtime, 1)))
+    cluster.run()
+    assert got["payload"] == "early"

@@ -1,0 +1,153 @@
+"""Tests for memory regions and completion queues."""
+
+import pytest
+
+from repro.common.errors import MemoryRegionError
+from repro.rdma import Completion, CompletionQueue, Opcode, get_nic
+from repro.simnet import Cluster
+
+
+@pytest.fixture
+def nic():
+    return get_nic(Cluster(node_count=1).node(0))
+
+
+def test_register_and_resolve(nic):
+    region = nic.register_memory(1024)
+    assert nic.region(region.rkey) is region
+    assert region.size == 1024
+
+
+def test_rkeys_are_unique(nic):
+    keys = {nic.register_memory(64).rkey for _ in range(10)}
+    assert len(keys) == 10
+
+
+def test_unknown_rkey_rejected(nic):
+    with pytest.raises(MemoryRegionError, match="unknown rkey"):
+        nic.region(9999)
+
+
+def test_zero_size_region_rejected(nic):
+    with pytest.raises(MemoryRegionError):
+        nic.register_memory(0)
+
+
+def test_write_read_roundtrip(nic):
+    region = nic.register_memory(64)
+    region.write(10, b"hello")
+    assert region.read(10, 5) == b"hello"
+    assert region.read(0, 10) == b"\x00" * 10
+
+
+def test_out_of_bounds_write_rejected(nic):
+    region = nic.register_memory(16)
+    with pytest.raises(MemoryRegionError):
+        region.write(12, b"too long")
+    with pytest.raises(MemoryRegionError):
+        region.write(-1, b"x")
+
+
+def test_out_of_bounds_read_rejected(nic):
+    region = nic.register_memory(16)
+    with pytest.raises(MemoryRegionError):
+        region.read(8, 16)
+
+
+def test_view_is_zero_copy(nic):
+    region = nic.register_memory(32)
+    view = region.view(4, 8)
+    region.write(4, b"ABCDEFGH")
+    assert bytes(view) == b"ABCDEFGH"
+
+
+def test_u64_helpers(nic):
+    region = nic.register_memory(16)
+    region.write_u64(8, 123456789)
+    assert region.read_u64(8) == 123456789
+
+
+def test_u64_wraps_at_64_bits(nic):
+    region = nic.register_memory(8)
+    region.write_u64(0, 2 ** 64 - 1)
+    assert region.fetch_add_u64(0, 2) == 2 ** 64 - 1
+    assert region.read_u64(0) == 1
+
+
+def test_fetch_add_returns_old_value(nic):
+    region = nic.register_memory(8)
+    assert region.fetch_add_u64(0, 5) == 0
+    assert region.fetch_add_u64(0, 5) == 5
+    assert region.read_u64(0) == 10
+
+
+def test_compare_swap_success_and_failure(nic):
+    region = nic.register_memory(8)
+    region.write_u64(0, 7)
+    assert region.compare_swap_u64(0, 7, 99) == 7
+    assert region.read_u64(0) == 99
+    assert region.compare_swap_u64(0, 7, 123) == 99
+    assert region.read_u64(0) == 99  # swap did not happen
+
+
+def test_registered_bytes_accounting(nic):
+    nic.register_memory(100)
+    nic.register_memory(200)
+    assert nic.registered_bytes() == 300
+
+
+# -- CompletionQueue ---------------------------------------------------------
+
+def test_cq_poll_fifo():
+    cluster = Cluster(node_count=1)
+    cq = CompletionQueue(cluster.env)
+    cq.push(Completion(wr_id=1, opcode=Opcode.WRITE))
+    cq.push(Completion(wr_id=2, opcode=Opcode.READ))
+    entries = cq.poll()
+    assert [e.wr_id for e in entries] == [1, 2]
+    assert cq.poll() == []
+
+
+def test_cq_poll_respects_max_entries():
+    cluster = Cluster(node_count=1)
+    cq = CompletionQueue(cluster.env)
+    for i in range(5):
+        cq.push(Completion(wr_id=i, opcode=Opcode.SEND))
+    assert len(cq.poll(max_entries=3)) == 3
+    assert len(cq.poll(max_entries=3)) == 2
+
+
+def test_cq_wait_blocks_until_push():
+    cluster = Cluster(node_count=1)
+    env = cluster.env
+    cq = CompletionQueue(env)
+    got = []
+
+    def waiter(env):
+        completion = yield cq.wait()
+        got.append((completion.wr_id, env.now))
+
+    def pusher(env):
+        yield env.timeout(25)
+        cq.push(Completion(wr_id="late", opcode=Opcode.RECV))
+
+    env.process(waiter(env))
+    env.process(pusher(env))
+    env.run()
+    assert got == [("late", 25)]
+
+
+def test_cq_wait_immediate_when_entries_exist():
+    cluster = Cluster(node_count=1)
+    env = cluster.env
+    cq = CompletionQueue(env)
+    cq.push(Completion(wr_id="ready", opcode=Opcode.RECV))
+    got = []
+
+    def waiter(env):
+        completion = yield cq.wait()
+        got.append(completion.wr_id)
+
+    env.process(waiter(env))
+    env.run()
+    assert got == ["ready"]

@@ -1,0 +1,263 @@
+"""Unit tests for Store, Resource, Barrier and Signal."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.simnet import Barrier, Environment, Resource, Signal, Store
+
+
+# -- Store -------------------------------------------------------------------
+
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    results = []
+
+    def producer(env):
+        yield store.put("x")
+        yield store.put("y")
+
+    def consumer(env):
+        a = yield store.get()
+        b = yield store.get()
+        results.extend([a, b])
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert results == ["x", "y"]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got_at = []
+
+    def consumer(env):
+        item = yield store.get()
+        got_at.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(50)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got_at == [(50, "late")]
+
+
+def test_store_capacity_blocks_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    timeline = []
+
+    def producer(env):
+        yield store.put(1)
+        timeline.append(("put1", env.now))
+        yield store.put(2)
+        timeline.append(("put2", env.now))
+
+    def consumer(env):
+        yield env.timeout(30)
+        item = yield store.get()
+        timeline.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put1", 0) in timeline
+    put2 = next(entry for entry in timeline if entry[0] == "put2")
+    assert put2[1] == 30  # second put admitted only after the get
+
+
+def test_store_fifo_ordering_many_items():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env):
+        for i in range(20):
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(20):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert received == list(range(20))
+
+
+def test_store_invalid_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Store(env, capacity=0)
+
+
+def test_store_len_and_items():
+    env = Environment()
+    store = Store(env)
+
+    def producer(env):
+        yield store.put("a")
+        yield store.put("b")
+
+    env.process(producer(env))
+    env.run()
+    assert len(store) == 2
+    assert store.items == ("a", "b")
+
+
+# -- Resource ----------------------------------------------------------------
+
+def test_resource_mutual_exclusion():
+    env = Environment()
+    lock = Resource(env, capacity=1)
+    timeline = []
+
+    def worker(env, tag, hold):
+        yield lock.acquire()
+        timeline.append((tag, "in", env.now))
+        yield env.timeout(hold)
+        timeline.append((tag, "out", env.now))
+        lock.release()
+
+    env.process(worker(env, "a", 10))
+    env.process(worker(env, "b", 10))
+    env.run()
+    assert timeline == [
+        ("a", "in", 0), ("a", "out", 10),
+        ("b", "in", 10), ("b", "out", 20),
+    ]
+
+
+def test_resource_capacity_two_allows_parallelism():
+    env = Environment()
+    pool = Resource(env, capacity=2)
+    done = []
+
+    def worker(env, tag):
+        yield pool.acquire()
+        yield env.timeout(10)
+        pool.release()
+        done.append((tag, env.now))
+
+    for tag in ("a", "b", "c"):
+        env.process(worker(env, tag))
+    env.run()
+    assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+
+def test_resource_queue_length():
+    env = Environment()
+    lock = Resource(env, capacity=1)
+
+    def holder(env):
+        yield lock.acquire()
+        yield env.timeout(100)
+        lock.release()
+
+    def waiter(env):
+        yield lock.acquire()
+        lock.release()
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run(until=50)
+    assert lock.queue_length == 1
+    assert lock.in_use == 1
+
+
+def test_resource_release_without_acquire():
+    env = Environment()
+    lock = Resource(env)
+    with pytest.raises(SimulationError):
+        lock.release()
+
+
+# -- Barrier -----------------------------------------------------------------
+
+def test_barrier_releases_all_at_last_arrival():
+    env = Environment()
+    barrier = Barrier(env, parties=3)
+    released = []
+
+    def party(env, delay, tag):
+        yield env.timeout(delay)
+        yield barrier.wait()
+        released.append((tag, env.now))
+
+    env.process(party(env, 10, "a"))
+    env.process(party(env, 20, "b"))
+    env.process(party(env, 30, "c"))
+    env.run()
+    assert all(t == 30 for _tag, t in released)
+    assert len(released) == 3
+
+
+def test_barrier_is_reusable():
+    env = Environment()
+    barrier = Barrier(env, parties=2)
+    rounds = []
+
+    def party(env, tag):
+        for round_no in range(3):
+            yield env.timeout(1)
+            yield barrier.wait()
+            rounds.append((tag, round_no, env.now))
+
+    env.process(party(env, "a"))
+    env.process(party(env, "b"))
+    env.run()
+    assert len(rounds) == 6
+    times = sorted({t for _tag, _r, t in rounds})
+    assert times == [1, 2, 3]
+
+
+# -- Signal ------------------------------------------------------------------
+
+def test_signal_wakes_all_waiters():
+    env = Environment()
+    signal = Signal(env)
+    woken = []
+
+    def waiter(env, tag):
+        value = yield signal.wait()
+        woken.append((tag, value, env.now))
+
+    def firer(env):
+        yield env.timeout(40)
+        signal.fire("done")
+
+    env.process(waiter(env, "a"))
+    env.process(waiter(env, "b"))
+    env.process(firer(env))
+    env.run()
+    assert sorted(woken) == [("a", "done", 40), ("b", "done", 40)]
+
+
+def test_signal_wait_after_fire_returns_immediately():
+    env = Environment()
+    signal = Signal(env)
+    signal.fire("v")
+    results = []
+
+    def late(env):
+        value = yield signal.wait()
+        results.append((value, env.now))
+
+    env.process(late(env))
+    env.run()
+    assert results == [("v", 0)]
+    assert signal.fired
+
+
+def test_signal_double_fire_rejected():
+    env = Environment()
+    signal = Signal(env)
+    signal.fire()
+    with pytest.raises(SimulationError):
+        signal.fire()

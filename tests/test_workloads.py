@@ -1,0 +1,132 @@
+"""Tests for YCSB and relation generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rand import ZipfGenerator
+from repro.workloads import (
+    YcsbConfig,
+    YcsbWorkload,
+    generate_relation,
+    partition_chunks,
+    zipf_relation,
+)
+from repro.workloads.ycsb import YcsbOperation
+
+
+# -- YCSB --------------------------------------------------------------------
+
+def test_ycsb_read_proportion():
+    workload = YcsbWorkload(YcsbConfig(read_proportion=0.95), seed=1)
+    requests = list(workload.requests(4000))
+    reads = sum(1 for r in requests if r.op is YcsbOperation.READ)
+    assert 0.92 < reads / 4000 < 0.98
+
+
+def test_ycsb_keys_in_range():
+    config = YcsbConfig(record_count=100)
+    workload = YcsbWorkload(config, seed=2)
+    for request in workload.requests(1000):
+        assert 0 <= request.key < 100
+
+
+def test_ycsb_zipfian_skew():
+    """Zipfian: the most popular key dominates a uniform draw."""
+    config = YcsbConfig(record_count=1000, distribution="zipfian")
+    workload = YcsbWorkload(config, seed=3)
+    counts = {}
+    for request in workload.requests(20_000):
+        counts[request.key] = counts.get(request.key, 0) + 1
+    top = max(counts.values())
+    assert top > 20_000 / 1000 * 10  # far above the uniform expectation
+
+
+def test_ycsb_uniform_distribution():
+    config = YcsbConfig(record_count=50, distribution="uniform")
+    workload = YcsbWorkload(config, seed=4)
+    counts = [0] * 50
+    for request in workload.requests(10_000):
+        counts[request.key] += 1
+    assert min(counts) > 100  # every key drawn a reasonable number of times
+
+
+def test_ycsb_update_values_sized():
+    config = YcsbConfig(read_proportion=0.0, value_size=56)
+    workload = YcsbWorkload(config, seed=5)
+    request = workload.next_request()
+    assert request.op is YcsbOperation.UPDATE
+    assert len(request.value) == 56
+
+
+def test_ycsb_deterministic_per_seed():
+    a = [r.key for r in YcsbWorkload(YcsbConfig(), seed=7).requests(100)]
+    b = [r.key for r in YcsbWorkload(YcsbConfig(), seed=7).requests(100)]
+    c = [r.key for r in YcsbWorkload(YcsbConfig(), seed=8).requests(100)]
+    assert a == b
+    assert a != c
+
+
+def test_ycsb_config_validation():
+    with pytest.raises(ConfigurationError):
+        YcsbConfig(record_count=0)
+    with pytest.raises(ConfigurationError):
+        YcsbConfig(read_proportion=1.5)
+    with pytest.raises(ConfigurationError):
+        YcsbConfig(distribution="pareto")
+
+
+def test_zipf_generator_bounds():
+    zipf = ZipfGenerator(100, theta=0.99)
+    for _ in range(1000):
+        assert 0 <= zipf.next() < 101
+
+
+# -- relations -----------------------------------------------------------------
+
+def test_generate_unique_relation_keys_are_permutation():
+    relation = generate_relation(1000, unique=True, seed=1)
+    assert sorted(relation[:, 0].tolist()) == list(range(1000))
+
+
+def test_generate_fk_relation_within_range():
+    relation = generate_relation(5000, key_range=100, seed=2)
+    assert relation[:, 0].max() < 100
+    assert relation.shape == (5000, 2)
+
+
+def test_generate_relation_validation():
+    with pytest.raises(ConfigurationError):
+        generate_relation(0, unique=True)
+    with pytest.raises(ConfigurationError):
+        generate_relation(10)  # non-unique without key_range
+
+
+def test_zipf_relation_skew():
+    relation = zipf_relation(20_000, key_range=1000, theta=1.5, seed=3)
+    values, counts = np.unique(relation[:, 0], return_counts=True)
+    assert counts.max() > 20_000 / 1000 * 5
+
+
+def test_partition_chunks_cover_everything():
+    relation = generate_relation(1003, unique=True, seed=4)
+    chunks = partition_chunks(relation, 7)
+    assert len(chunks) == 7
+    assert sum(len(chunk) for chunk in chunks) == 1003
+    reassembled = np.concatenate(chunks)
+    assert np.array_equal(reassembled, relation)
+
+
+def test_partition_chunks_validation():
+    relation = generate_relation(10, unique=True)
+    with pytest.raises(ConfigurationError):
+        partition_chunks(relation, 0)
+
+
+@settings(max_examples=20)
+@given(st.integers(1, 500), st.integers(1, 16))
+def test_partition_chunks_property(size, parts):
+    relation = generate_relation(size, unique=True, seed=0)
+    chunks = partition_chunks(relation, parts)
+    assert sum(len(chunk) for chunk in chunks) == size
