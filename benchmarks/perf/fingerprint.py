@@ -1,0 +1,72 @@
+"""Simulated-time fingerprint of the figure benches.
+
+Prints the *exact* (repr, full float precision) simulated metrics of a
+representative slice of every figure-bench family. Performance work on
+the simulator must leave this fingerprint bit-identical: the hot path may
+get faster in wall-clock terms, but the simulated GiB/s and RTTs are the
+paper reproduction and must not move.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/fingerprint.py [output.json]
+
+and diff the JSON against a pre-change capture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from repro.bench.flows import (  # noqa: E402
+    measure_combiner_bandwidth,
+    measure_replicate_bandwidth,
+    measure_replicate_rtt,
+    measure_scaleout_bandwidth,
+    measure_shuffle_bandwidth,
+    measure_shuffle_rtt,
+)
+from repro.core import FlowOptions, Optimization  # noqa: E402
+
+
+def collect() -> dict:
+    fp = {}
+    for tuple_size, threads in ((64, 1), (256, 2)):
+        m = measure_shuffle_bandwidth(tuple_size, threads,
+                                      total_bytes=1 << 20)
+        fp[f"shuffle_bw_{tuple_size}B_{threads}src"] = m.elapsed_ns
+    m = measure_shuffle_bandwidth(
+        64, 1, total_bytes=1 << 20, optimization=Optimization.LATENCY,
+        options=FlowOptions(target_segments=64, credit_threshold=16))
+    fp["shuffle_lat_64B_1src"] = m.elapsed_ns
+    fp["shuffle_rtt_64B_4srv"] = measure_shuffle_rtt(64, 4, iterations=50)
+    m = measure_scaleout_bandwidth(4, 2, bytes_per_source=256 << 10)
+    fp["scaleout_4x2"] = m.elapsed_ns
+    for multicast in (False, True):
+        m = measure_replicate_bandwidth(256, 1, multicast,
+                                        total_bytes=512 << 10)
+        fp[f"replicate_{'mc' if multicast else 'naive'}_256B"] = m.elapsed_ns
+        fp[f"replicate_{'mc' if multicast else 'naive'}_rtt"] = (
+            measure_replicate_rtt(64, 3, multicast, iterations=30))
+    m = measure_combiner_bandwidth(16, 1, total_bytes=512 << 10)
+    fp["combiner_16B"] = m.elapsed_ns
+    return fp
+
+
+def main() -> None:
+    output = sys.argv[1] if len(sys.argv) > 1 else None
+    fp = collect()
+    for key, value in fp.items():
+        print(f"{key}: {value!r}")
+    if output:
+        with open(output, "w") as fh:
+            json.dump(fp, fh, indent=2)
+        print(f"wrote {output}")
+
+
+if __name__ == "__main__":
+    main()

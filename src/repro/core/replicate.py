@@ -173,6 +173,17 @@ class _StagingBuffer:
         self.schema.pack_into(self._buffer, self.used, values)
         self.used += self.schema.tuple_size
 
+    def append_many(self, tuples) -> None:
+        """Pack a batch of tuples with one ``struct`` call; the caller
+        checks :attr:`room` first."""
+        self.schema.pack_many_into(self._buffer, self.used, tuples)
+        self.used += self.schema.tuple_size * len(tuples)
+
+    @property
+    def room(self) -> int:
+        """How many more tuples fit before the buffer reads as full."""
+        return (self.payload_size - self.used) // self.schema.tuple_size
+
     @property
     def full(self) -> bool:
         return self.used + self.schema.tuple_size > self.payload_size
@@ -242,6 +253,35 @@ class NaiveReplicateSource:
                            * self.profile.cpu_copy_per_byte)
         if self._latency or self._staging.full:
             yield from self._flush(0)
+
+    def push_batch(self, tuples):
+        """Generator: replicate a batch of tuples to all targets.
+
+        Simulated cost matches per-tuple push (same CPU debt, same flush
+        points); segments are packed with one ``struct`` call each.
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed replicate source")
+        if self._latency:
+            for values in tuples:
+                yield from self.push(values)
+            return
+        if not isinstance(tuples, (list, tuple)):
+            tuples = list(tuples)
+        per_tuple = (self.profile.cpu_tuple_overhead
+                     + self.descriptor.schema.tuple_size
+                     * self.profile.cpu_copy_per_byte)
+        total = len(tuples)
+        index = 0
+        while index < total:
+            take = min(self._staging.room, total - index)
+            if take:
+                self._staging.append_many(tuples[index:index + take])
+                self.tuples_sent += take
+                self._cpu_debt += take * per_tuple
+                index += take
+            if self._staging.full:
+                yield from self._flush(0)
 
     def close(self):
         """Generator: flush, send the close marker, and wait for acks."""
@@ -453,6 +493,35 @@ class MulticastReplicateSource:
                            * self.profile.cpu_copy_per_byte)
         if self._latency or self._staging.full:
             yield from self._flush(0)
+
+    def push_batch(self, tuples):
+        """Generator: replicate a batch of tuples through the switch.
+
+        Same semantics and simulated cost as per-tuple push; whole
+        segments are packed with one ``struct`` call.
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed replicate source")
+        if self._latency:
+            for values in tuples:
+                yield from self.push(values)
+            return
+        if not isinstance(tuples, (list, tuple)):
+            tuples = list(tuples)
+        per_tuple = (self.profile.cpu_tuple_overhead
+                     + self.descriptor.schema.tuple_size
+                     * self.profile.cpu_copy_per_byte)
+        total = len(tuples)
+        index = 0
+        while index < total:
+            take = min(self._staging.room, total - index)
+            if take:
+                self._staging.append_many(tuples[index:index + take])
+                self.tuples_sent += take
+                self._cpu_debt += take * per_tuple
+                index += take
+            if self._staging.full:
+                yield from self._flush(0)
 
     def close(self):
         """Generator: flush, send the close marker, then stay responsive

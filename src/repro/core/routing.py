@@ -42,6 +42,40 @@ def key_hash_router(schema: Schema, key: "str | int") -> RoutingFunction:
             return _fibonacci_hash_u64(key_value) % target_count
         return hash(key_value) % target_count
 
+    def route_many(tuples, target_count: int) -> list[list]:
+        """Partition a whole batch at once — the hash is inlined and the
+        per-group ``append`` is pre-bound, saving two function calls per
+        tuple on the batched push path.
+
+        Produces exactly the same partitions as ``route``: integer keys
+        take the Fibonacci-hash path (the ``TypeError`` fallback replaces
+        the per-tuple ``isinstance`` — free for the all-int common case),
+        and for power-of-two target counts the modulo folds into a bit
+        mask (``x % n == x & (n - 1)`` for the non-negative hash)."""
+        groups: list[list] = [[] for _ in range(target_count)]
+        appends = [group.append for group in groups]
+        mask = 2 ** 64 - 1
+        mult = 0x9E3779B97F4A7C15
+        if target_count & (target_count - 1) == 0:
+            low = target_count - 1
+            for values in tuples:
+                key_value = values[index]
+                try:
+                    appends[((key_value & mask) * mult & mask) >> 32
+                            & low](values)
+                except TypeError:
+                    appends[hash(key_value) % target_count](values)
+        else:
+            for values in tuples:
+                key_value = values[index]
+                try:
+                    appends[(((key_value & mask) * mult & mask) >> 32)
+                            % target_count](values)
+                except TypeError:
+                    appends[hash(key_value) % target_count](values)
+        return groups
+
+    route.route_many = route_many
     return route
 
 
@@ -57,6 +91,14 @@ def radix_router(schema: Schema, key: "str | int", bits: int,
     def route(values: tuple, target_count: int) -> int:
         return ((values[index] >> shift) & mask) % target_count
 
+    def route_many(tuples, target_count: int) -> list[list]:
+        groups: list[list] = [[] for _ in range(target_count)]
+        appends = [group.append for group in groups]
+        for values in tuples:
+            appends[((values[index] >> shift) & mask) % target_count](values)
+        return groups
+
+    route.route_many = route_many
     return route
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from itertools import chain
 
 from repro.common.errors import SchemaError
 from repro.core.types import DataType, resolve_type
@@ -58,10 +59,13 @@ class Schema:
             offset += dtype.size
         self._fields = tuple(resolved)
         self._index = {field.name: i for i, field in enumerate(resolved)}
-        self._struct = struct.Struct(
-            "<" + "".join(field.dtype.code for field in resolved))
+        self._codes = "".join(field.dtype.code for field in resolved)
+        self._struct = struct.Struct("<" + self._codes)
         if self._struct.size != offset:
             raise AssertionError("packed size does not match field offsets")
+        #: Compiled batch structs, keyed by tuple count (push_batch packs a
+        #: whole segment with a single struct call).
+        self._batch_structs: dict[int, struct.Struct] = {}
 
     # -- introspection -----------------------------------------------------
     @property
@@ -115,6 +119,30 @@ class Schema:
             raise SchemaError(
                 f"tuple {values!r} does not match schema: {exc}") from None
 
+    def _batch_struct(self, count: int) -> struct.Struct:
+        compiled = self._batch_structs.get(count)
+        if compiled is None:
+            compiled = struct.Struct("<" + self._codes * count)
+            if len(self._batch_structs) < 64:
+                self._batch_structs[count] = compiled
+        return compiled
+
+    def pack_many_into(self, buffer: bytearray, offset: int,
+                       tuples) -> None:
+        """Pack a sequence of tuples contiguously into ``buffer`` with one
+        ``struct`` call — the amortization behind the batched push path."""
+        count = len(tuples)
+        if count == 1:
+            self.pack_into(buffer, offset, tuples[0])
+            return
+        try:
+            self._batch_struct(count).pack_into(
+                buffer, offset, *chain.from_iterable(tuples))
+        except struct.error as exc:
+            raise SchemaError(
+                f"batch of {count} tuples does not match schema: "
+                f"{exc}") from None
+
     def unpack(self, data: "bytes | bytearray | memoryview") -> tuple:
         """Unpack one tuple from exactly ``tuple_size`` bytes."""
         try:
@@ -132,8 +160,11 @@ class Schema:
     def unpack_many(self, buffer, count: int, offset: int = 0) -> list[tuple]:
         """Unpack ``count`` consecutive tuples (a segment payload)."""
         size = self._struct.size
-        unpack_from = self._struct.unpack_from
-        return [unpack_from(buffer, offset + i * size) for i in range(count)]
+        span = count * size
+        if offset or len(buffer) != span:
+            buffer = memoryview(buffer)[offset:offset + span]
+        # iter_unpack walks the whole payload in C, one call per segment.
+        return list(self._struct.iter_unpack(buffer))
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):

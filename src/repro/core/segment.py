@@ -14,7 +14,7 @@ landed — DFI's checksum-free synchronization trick (Section 5.2).
 from __future__ import annotations
 
 import struct
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.common.errors import FlowError
 from repro.rdma.memory import MemoryRegion
@@ -37,9 +37,13 @@ _SOURCE_SHIFT = 16
 _FLAG_MASK = (1 << _SOURCE_SHIFT) - 1
 
 
-@dataclass(frozen=True)
-class Footer:
-    """Decoded segment footer."""
+class Footer(NamedTuple):
+    """Decoded segment footer.
+
+    A ``NamedTuple`` rather than a dataclass: one is decoded per footer
+    poll on the consume path and per pre-read on the flush path, and
+    tuple construction runs in C (a frozen dataclass pays three
+    ``object.__setattr__`` calls per instance)."""
 
     used: int
     flags: int
@@ -63,19 +67,48 @@ class Footer:
         return self.flags >> _SOURCE_SHIFT
 
 
+#: Memoized footers for seq-0 encodings. The hot repeats are the segment
+#: release in ``TargetChannel.poll`` (``pack_footer(0, 0, 0)`` once per
+#: consumed segment) and close/abort markers; footers with a live sequence
+#: number are packed via :func:`pack_footer_into` straight into the staging
+#: buffer instead.
+_FOOTER_CACHE: dict[tuple[int, int, int], bytes] = {}
+_FOOTER_CACHE_CAP = 1024
+
+
 def pack_footer(used: int, flags: int, seq: int = 0,
                 source_index: int = 0) -> bytes:
     """Encode a footer to its 16-byte wire form."""
+    if seq == 0:
+        key = (used, flags, source_index)
+        footer = _FOOTER_CACHE.get(key)
+        if footer is None:
+            footer = FOOTER_STRUCT.pack(used,
+                                        (flags & _FLAG_MASK)
+                                        | (source_index << _SOURCE_SHIFT),
+                                        0)
+            if len(_FOOTER_CACHE) < _FOOTER_CACHE_CAP:
+                _FOOTER_CACHE[key] = footer
+        return footer
     return FOOTER_STRUCT.pack(used,
                               (flags & _FLAG_MASK)
                               | (source_index << _SOURCE_SHIFT),
                               seq)
 
 
+def pack_footer_into(buffer: bytearray, offset: int, used: int, flags: int,
+                     seq: int = 0, source_index: int = 0) -> None:
+    """Encode a footer directly into ``buffer`` at ``offset`` — no 16-byte
+    intermediate object (the full-segment flush hot path)."""
+    FOOTER_STRUCT.pack_into(buffer, offset, used,
+                            (flags & _FLAG_MASK)
+                            | (source_index << _SOURCE_SHIFT),
+                            seq)
+
+
 def unpack_footer(data: "bytes | bytearray | memoryview") -> Footer:
     """Decode a footer from 16 bytes."""
-    used, flags, seq = FOOTER_STRUCT.unpack(data)
-    return Footer(used, flags, seq)
+    return Footer._make(FOOTER_STRUCT.unpack(data))
 
 
 class SegmentRing:

@@ -41,6 +41,7 @@ from repro.core.segment import (
     FOOTER_SIZE,
     SegmentRing,
     pack_footer,
+    pack_footer_into,
     unpack_footer,
 )
 from repro.rdma.nic import get_nic
@@ -113,15 +114,24 @@ class BandwidthSourceChannel:
         nic = get_nic(node)
         self.qp = nic.create_qp(node.cluster.node(handle.node_id))
         # The C++ implementation keeps a full send ring so segment memory
-        # stays untouched until the NIC finished its DMA. Our verbs layer
-        # snapshots payloads at post time, so one staging segment is
-        # physically sufficient; the ring's *protocol* behaviour — a
-        # signaled write and completion drain once per ring wrap-around —
-        # is still modeled, and memory accounting reports the ring the
-        # protocol requires.
+        # stays untouched until the NIC finished its DMA. Writes are posted
+        # zero-copy (``assume_stable=True``), so staging slots must stay
+        # untouched until the simulated write commits. A 2N-slot staging
+        # ring (N = source_segments) guarantees that: the wrap-around wait
+        # before flush f with f % N == 0 implies every write up to f-1 has
+        # committed, and a slot is only repacked 2N flushes after it was
+        # posted — at which point the latest wrap wait already covered it.
+        # Memory accounting still reports the N-segment ring the *protocol*
+        # requires (the §6.1.4 unit); the extra staging is an emulation
+        # artifact of not having real DMA-completion reuse.
         self._ring_segments = descriptor.options.source_segments
         self._pipelined_preread = descriptor.options.pipelined_footer_read
-        self._staging = bytearray(self.segment_payload + FOOTER_SIZE)
+        self._slot_size = self.segment_payload + FOOTER_SIZE
+        self._staging_slots = 2 * self._ring_segments
+        self._staging = bytearray(self._staging_slots * self._slot_size)
+        self._staging_view = memoryview(self._staging)
+        self._staging_base = 0
+        self._flushes = 0
         self._scratch = nic.register_memory(FOOTER_SIZE)
         self.remote = handle
         self._remote_slot = handle.segment_size + FOOTER_SIZE
@@ -152,7 +162,8 @@ class BandwidthSourceChannel:
         """
         if self.closed:
             raise FlowClosedError("push on a closed flow source")
-        self.schema.pack_into(self._staging, self._used, values)
+        self.schema.pack_into(self._staging,
+                              self._staging_base + self._used, values)
         self._used += self.schema.tuple_size
         self._cpu_debt += (self.profile.cpu_tuple_overhead
                            + self.schema.tuple_size
@@ -160,6 +171,93 @@ class BandwidthSourceChannel:
         self.tuples_sent += 1
         if self._used + self.schema.tuple_size > self.segment_payload:
             yield from self._flush(0)
+
+    def push_batch(self, tuples):
+        """Generator: append a batch of tuples, flushing as segments fill.
+
+        The same per-tuple CPU debt accrues as for one-by-one pushes, but
+        it is charged as **one coalesced compute timeout per batch** (plus
+        the post cost of every flush the batch triggers) instead of one
+        kernel event per flush, and each filled segment is packed with a
+        single ``struct`` call — that is where the wall-clock win comes
+        from. ``tuples`` must be a sequence (it is sliced per segment).
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        if not isinstance(tuples, (list, tuple)):
+            tuples = list(tuples)
+        total = len(tuples)
+        if not total:
+            return
+        tuple_size = self.schema.tuple_size
+        per_tuple = (self.profile.cpu_tuple_overhead
+                     + tuple_size * self.profile.cpu_copy_per_byte)
+        capacity = self.segment_payload
+        # One coalesced CPU charge: leftover debt from earlier pushes, the
+        # batch's per-tuple work, and the post cost of every flush this
+        # batch will trigger (a flush fires each time the staged tuple
+        # count reaches a full segment).
+        seg_tuples = capacity // tuple_size
+        flushes = (self._used // tuple_size + total) // seg_tuples
+        debt = (self._cpu_debt + total * per_tuple
+                + flushes * self.profile.cpu_post_cost)
+        self._cpu_debt = 0.0
+        yield self.node.compute(debt)
+        index = 0
+        while index < total:
+            room = (capacity - self._used) // tuple_size
+            take = min(room, total - index)
+            if take:
+                self.schema.pack_many_into(
+                    self._staging, self._staging_base + self._used,
+                    tuples[index:index + take])
+                self._used += take * tuple_size
+                self.tuples_sent += take
+                index += take
+            if self._used + tuple_size > capacity:
+                yield from self._flush(0, charge_cpu=False)
+
+    def push_bytes(self, data):
+        """Generator: append pre-packed tuple bytes — no per-tuple type
+        interpretation at all, just slab copies into the staging segment.
+
+        ``data`` must hold a whole number of tuples packed in this flow's
+        schema. CPU debt is charged exactly as if the tuples had been
+        pushed individually.
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        tuple_size = self.schema.tuple_size
+        size = len(data)
+        if size % tuple_size:
+            raise FlowError(
+                f"push_bytes got {size} bytes, not a multiple of the "
+                f"{tuple_size}-byte tuple size")
+        if not size:
+            return
+        per_tuple = (self.profile.cpu_tuple_overhead
+                     + tuple_size * self.profile.cpu_copy_per_byte)
+        total = size // tuple_size
+        capacity = self.segment_payload
+        seg_tuples = capacity // tuple_size
+        flushes = (self._used // tuple_size + total) // seg_tuples
+        debt = (self._cpu_debt + total * per_tuple
+                + flushes * self.profile.cpu_post_cost)
+        self._cpu_debt = 0.0
+        yield self.node.compute(debt)
+        view = memoryview(data)
+        index = 0
+        while index < size:
+            room = ((capacity - self._used) // tuple_size) * tuple_size
+            take = min(room, size - index)
+            if take:
+                base = self._staging_base + self._used
+                self._staging[base:base + take] = view[index:index + take]
+                self._used += take
+                self.tuples_sent += take // tuple_size
+                index += take
+            if self._used + tuple_size > capacity:
+                yield from self._flush(0, charge_cpu=False)
 
     def close(self):
         """Generator: flush remaining tuples, send the close marker, and
@@ -188,11 +286,14 @@ class BandwidthSourceChannel:
         if not wr.done.triggered:
             yield wr.done
 
-    def _flush(self, extra_flags: int):
-        # Charge the CPU work accumulated by pushes plus the post cost.
-        debt = self._cpu_debt + self.profile.cpu_post_cost
-        self._cpu_debt = 0.0
-        yield self.node.compute(debt)
+    def _flush(self, extra_flags: int, charge_cpu: bool = True):
+        # Charge the CPU work accumulated by pushes plus the post cost
+        # (``push_batch`` pre-charges both as one coalesced timeout and
+        # passes ``charge_cpu=False``).
+        if charge_cpu:
+            debt = self._cpu_debt + self.profile.cpu_post_cost
+            self._cpu_debt = 0.0
+            yield self.node.compute(debt)
         # Selective signaling: on wrap-around ensure the previous cycle's
         # signaled write finished before its slot is reused.
         if self._local_index == 0 and self._wrap_wr is not None:
@@ -202,17 +303,21 @@ class BandwidthSourceChannel:
             self.qp.send_cq.poll(max_entries=64)
         yield from self._ensure_remote_writable()
         flags = FLAG_CONSUMABLE | extra_flags
-        footer = pack_footer(self._used, flags, self._seq)
         signaled = self._local_index == self._ring_segments - 1
         if extra_flags & FLAG_CLOSED:
             signaled = True
         remote_offset = self._remote_index * self._remote_slot
+        base = self._staging_base
         if self._used == self.segment_payload:
-            # Full segment: payload and footer are contiguous — one write.
-            self._staging[self._used:self._used + FOOTER_SIZE] = footer
+            # Full segment: the footer is packed in place right after the
+            # payload, and the whole slot goes out as one zero-copy write
+            # (the staging ring keeps the slot stable until it commits).
+            pack_footer_into(self._staging, base + self._used,
+                             self._used, flags, self._seq)
             wr = self.qp.post_write(
-                memoryview(self._staging)[:self._used + FOOTER_SIZE],
-                self.remote.rkey, remote_offset, signaled=signaled)
+                self._staging_view[base:base + self._used + FOOTER_SIZE],
+                self.remote.rkey, remote_offset, signaled=signaled,
+                assume_stable=True)
         else:
             # Partial segment (final flush): write only the used payload,
             # then the footer at its fixed end-of-segment position. RC
@@ -220,10 +325,11 @@ class BandwidthSourceChannel:
             # strictly after the payload.
             if self._used:
                 self.qp.post_write(
-                    memoryview(self._staging)[:self._used],
-                    self.remote.rkey, remote_offset, signaled=False)
+                    self._staging_view[base:base + self._used],
+                    self.remote.rkey, remote_offset, signaled=False,
+                    assume_stable=True)
             wr = self.qp.post_write(
-                footer, self.remote.rkey,
+                pack_footer(self._used, flags, self._seq), self.remote.rkey,
                 remote_offset + self.remote.segment_size,
                 signaled=signaled)
         if signaled:
@@ -241,6 +347,9 @@ class BandwidthSourceChannel:
         self._remote_index = next_remote
         self._local_index = (self._local_index + 1) % self._ring_segments
         self._used = 0
+        self._flushes += 1
+        self._staging_base = (self._flushes % self._staging_slots
+                              ) * self._slot_size
         return wr
 
     def _ensure_remote_writable(self):
@@ -284,6 +393,14 @@ class LatencySourceChannel:
         self._scratch = nic.register_memory(8)
         self.remote = handle
         self._remote_slot = handle.segment_size + FOOTER_SIZE
+        # Zero-copy staging: one slot per remote segment. A slot posted at
+        # send s is only repacked at send s + segment_count, and holding a
+        # credit then implies the target consumed segment s — which in turn
+        # implies the write had committed. So the slot is stable for the
+        # write's whole lifetime.
+        self._slot_size = self.segment_payload + FOOTER_SIZE
+        self._staging = bytearray(handle.segment_count * self._slot_size)
+        self._staging_view = memoryview(self._staging)
         self._rng = derive_rng(node.cluster.seed, "dfi-backoff", *channel_tag)
         self._threshold = descriptor.options.credit_threshold
         self._sent = 0
@@ -311,12 +428,47 @@ class LatencySourceChannel:
                 + self.profile.cpu_post_cost)
         yield self.node.compute(cost)
         yield from self._acquire_credit()
-        payload = self.schema.pack(values)
-        self._write_slot(payload, FLAG_CONSUMABLE)
+        # Pack straight into the staging slot — no intermediate bytes.
+        base = self._slot_base()
+        self.schema.pack_into(self._staging, base, values)
+        self._finish_slot(base, self.schema.tuple_size, FLAG_CONSUMABLE)
         self.tuples_sent += 1
         if (self._available_credits <= self._threshold
                 and self._pending_credit_read is None):
             self._refresh_credit_async()
+
+    def push_batch(self, tuples):
+        """Generator: push a batch of tuples. Latency mode is inherently
+        per-tuple (one segment each, credits acquired per write), so this
+        is a loop over :meth:`push` with identical simulated timing."""
+        for values in tuples:
+            yield from self.push(values)
+
+    def push_bytes(self, data):
+        """Generator: push pre-packed tuple bytes, one segment per tuple."""
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        tuple_size = self.schema.tuple_size
+        size = len(data)
+        if size % tuple_size:
+            raise FlowError(
+                f"push_bytes got {size} bytes, not a multiple of the "
+                f"{tuple_size}-byte tuple size")
+        cost = (self.profile.cpu_tuple_overhead
+                + tuple_size * self.profile.cpu_copy_per_byte
+                + self.profile.cpu_post_cost)
+        view = memoryview(data)
+        for start in range(0, size, tuple_size):
+            yield self.node.compute(cost)
+            yield from self._acquire_credit()
+            base = self._slot_base()
+            self._staging[base:base + tuple_size] = (
+                view[start:start + tuple_size])
+            self._finish_slot(base, tuple_size, FLAG_CONSUMABLE)
+            self.tuples_sent += 1
+            if (self._available_credits <= self._threshold
+                    and self._pending_credit_read is None):
+                self._refresh_credit_async()
 
     def close(self):
         """Generator: send the close marker and wait for its ack."""
@@ -349,17 +501,35 @@ class LatencySourceChannel:
         if not wr.done.triggered:
             yield wr.done
 
-    def _write_slot(self, payload: bytes, flags: int, signaled: bool = False):
-        slot_index = self._sent % self.remote.segment_count
-        used = len(payload)
-        padding = b"\x00" * (self.segment_payload - used)
-        data = payload + padding + pack_footer(used, flags, self._sent)
-        wr = self.qp.post_write(data, self.remote.rkey,
-                                slot_index * self._remote_slot,
-                                signaled=signaled)
+    def _slot_base(self) -> int:
+        """Staging-buffer offset of the slot for the next send."""
+        return (self._sent % self.remote.segment_count) * self._slot_size
+
+    def _finish_slot(self, base: int, used: int, flags: int,
+                     signaled: bool = False):
+        """Pad + footer the staged slot at ``base`` and post it zero-copy."""
+        if used < self.segment_payload:
+            # Close/abort markers: zero the unused payload so the wire
+            # bytes match the padded form the protocol defines.
+            self._staging[base + used:base + self.segment_payload] = (
+                bytes(self.segment_payload - used))
+        pack_footer_into(self._staging, base + self.segment_payload,
+                         used, flags, self._sent)
+        wr = self.qp.post_write(
+            self._staging_view[base:base + self._slot_size],
+            self.remote.rkey,
+            (self._sent % self.remote.segment_count) * self._remote_slot,
+            signaled=signaled, assume_stable=True)
         self._sent += 1
         self.segments_sent += 1
         return wr
+
+    def _write_slot(self, payload: bytes, flags: int, signaled: bool = False):
+        base = self._slot_base()
+        used = len(payload)
+        if used:
+            self._staging[base:base + used] = payload
+        return self._finish_slot(base, used, flags, signaled)
 
     def _refresh_credit_async(self) -> None:
         self._pending_credit_read = self.qp.post_read(
@@ -514,9 +684,75 @@ class ShuffleSource:
         yield from self._channels[target].push(values)
 
     def push_many(self, tuples, target: "int | None" = None):
-        """Generator: push a batch of tuples (convenience wrapper)."""
+        """Generator: push a batch of tuples (convenience wrapper).
+
+        Per-tuple semantics and event patterns — kept for callers that
+        depend on the exact interleaving of per-tuple pushes. New code
+        wanting wall-clock throughput should use :meth:`push_batch`.
+        """
         for values in tuples:
             yield from self.push(values, target=target)
+
+    def push_batch(self, tuples, target: "int | None" = None):
+        """Generator: push a batch of tuples through the batched channel
+        path — whole segments are packed with one ``struct`` call instead
+        of one per tuple.
+
+        Without an explicit ``target`` the batch is partitioned by the
+        flow's router first and each per-channel group is pushed as its
+        own batch; tuple order is preserved *within* each channel (the
+        only ordering a multi-channel shuffle ever guarantees).
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        channels = self._channels
+        if target is not None:
+            if not 0 <= target < len(channels):
+                raise FlowError(
+                    f"routed to target {target}, valid range "
+                    f"[0, {len(channels)})")
+            yield from channels[target].push_batch(tuples)
+            return
+        if len(channels) == 1:
+            yield from channels[0].push_batch(tuples)
+            return
+        if self._router is None:
+            raise FlowError(
+                "flow has no shuffle key or routing function; pass "
+                "target= explicitly")
+        router = self._router
+        count = len(channels)
+        route_many = getattr(router, "route_many", None)
+        if route_many is not None:
+            groups = route_many(tuples, count)
+        else:
+            groups = [[] for _ in range(count)]
+            appends = [group.append for group in groups]
+            for values in tuples:
+                appends[router(values, count)](values)
+        for index, group in enumerate(groups):
+            if group:
+                yield from channels[index].push_batch(group)
+
+    def push_bytes(self, data, target: "int | None" = None):
+        """Generator: push pre-packed tuple bytes (zero per-tuple packing).
+
+        Raw bytes carry no routable key, so a multi-target flow needs an
+        explicit ``target``.
+        """
+        if self.closed:
+            raise FlowClosedError("push on a closed flow source")
+        if target is None:
+            if len(self._channels) != 1:
+                raise FlowError(
+                    "push_bytes cannot route packed tuples; pass target= "
+                    "explicitly")
+            target = 0
+        if not 0 <= target < len(self._channels):
+            raise FlowError(
+                f"routed to target {target}, valid range "
+                f"[0, {len(self._channels)})")
+        yield from self._channels[target].push_bytes(data)
 
     def close(self):
         """Generator: close every channel (targets see FLOW_END once all
@@ -675,8 +911,9 @@ class ShuffleTarget:
         if first is FLOW_END:
             return FLOW_END
         batch = [first]
-        while self._buffer:
-            batch.append(self._buffer.popleft())
+        if self._buffer:
+            batch.extend(self._buffer)
+            self._buffer.clear()
         return batch
 
     def _finished(self) -> bool:

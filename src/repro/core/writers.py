@@ -16,7 +16,12 @@ from typing import TYPE_CHECKING
 
 from repro.common.rand import derive_rng
 from repro.core.registry import RingHandle
-from repro.core.segment import FOOTER_SIZE, pack_footer, unpack_footer
+from repro.core.segment import (
+    FOOTER_SIZE,
+    pack_footer,
+    pack_footer_into,
+    unpack_footer,
+)
 from repro.rdma.nic import get_nic
 
 if TYPE_CHECKING:
@@ -68,7 +73,9 @@ class FooterRingWriter:
         remote_offset = self._remote_index * self.slot_size
         footer = pack_footer(len(payload), flags, seq, source_index)
         if len(payload) == self.handle.segment_size:
-            wr = self.qp.post_write(payload + footer, self.handle.rkey,
+            # Gather post: payload + footer leave as one wire write with
+            # no concatenation copy.
+            wr = self.qp.post_write([payload, footer], self.handle.rkey,
                                     remote_offset, signaled=signaled)
         else:
             if payload:
@@ -143,7 +150,7 @@ class CreditRingWriter:
                          * self.slot_size)
         footer = pack_footer(len(payload), flags, seq, source_index)
         if len(payload) == self.handle.segment_size:
-            wr = self.qp.post_write(payload + footer, self.handle.rkey,
+            wr = self.qp.post_write([payload, footer], self.handle.rkey,
                                     remote_offset, signaled=False)
         else:
             if payload:
@@ -187,10 +194,13 @@ class CreditRingWriter:
 def build_slot(payload: bytes, segment_size: int, flags: int, seq: int,
                source_index: int = 0) -> bytes:
     """Assemble one wire slot: payload, zero padding, 16-byte footer."""
-    if len(payload) > segment_size:
+    used = len(payload)
+    if used > segment_size:
         raise ValueError(
-            f"payload of {len(payload)} bytes exceeds segment size "
+            f"payload of {used} bytes exceeds segment size "
             f"{segment_size}")
-    padding = b"\x00" * (segment_size - len(payload))
-    return payload + padding + pack_footer(len(payload), flags, seq,
-                                           source_index)
+    # One allocation: a pre-zeroed slot, payload and footer packed in place.
+    slot = bytearray(segment_size + FOOTER_SIZE)
+    slot[:used] = payload
+    pack_footer_into(slot, segment_size, used, flags, seq, source_index)
+    return bytes(slot)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.simnet.kernel import Environment, Event
@@ -28,7 +28,7 @@ class WcStatus(enum.Enum):
     ERROR = "error"
 
 
-@dataclass
+@dataclass(slots=True)
 class Completion:
     """One completion-queue entry (a ``struct ibv_wc``)."""
 
@@ -42,15 +42,52 @@ class Completion:
     imm: int | None = None
 
 
-@dataclass
 class WorkRequest:
     """A posted work request; ``done`` triggers when the operation
-    completes (for writes: when the RC ACK returns to the sender)."""
+    completes (for writes: when the RC ACK returns to the sender).
 
-    wr_id: Any
-    opcode: Opcode
-    signaled: bool
-    done: Event = field(repr=False, default=None)  # type: ignore[assignment]
+    The ``done`` event is materialized lazily on first access: most
+    unsignaled writes are fire-and-forget — nobody ever waits on them —
+    and never creating their event skips an allocation, a schedule, and
+    a kernel step per work request. If the operation completed before
+    the event was first accessed, the event is returned already
+    triggered with the operation's result.
+    """
+
+    __slots__ = ("wr_id", "opcode", "signaled", "_env", "_done",
+                 "_completed", "_result")
+
+    def __init__(self, env: Environment, wr_id: Any, opcode: Opcode,
+                 signaled: bool) -> None:
+        self._env = env
+        self.wr_id = wr_id
+        self.opcode = opcode
+        self.signaled = signaled
+        self._done: Event | None = None
+        self._completed = False
+        self._result: Any = None
+
+    @property
+    def done(self) -> Event:
+        """Completion event (created on demand)."""
+        event = self._done
+        if event is None:
+            event = self._done = Event(self._env)
+            if self._completed:
+                event.succeed(self._result)
+        return event
+
+    def _complete(self, result: Any = None) -> None:
+        """Record completion, triggering ``done`` only if someone looked."""
+        self._completed = True
+        self._result = result
+        if self._done is not None:
+            self._done.succeed(result)
+
+    def __repr__(self) -> str:
+        state = "done" if self._completed else "pending"
+        return (f"<WorkRequest {self.opcode.value} wr_id={self.wr_id!r} "
+                f"{state}>")
 
 
 class CompletionQueue:

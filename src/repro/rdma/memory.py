@@ -60,11 +60,17 @@ class MemoryRegion:
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         """Commit ``data`` into the region at ``offset``."""
-        self.check_range(offset, len(data))
-        self.mem[offset:offset + len(data)] = data
-        if self._write_hooks:
-            for hook in tuple(self._write_hooks):
-                hook(offset, len(data))
+        length = len(data)
+        self.check_range(offset, length)
+        self.mem[offset:offset + length] = data
+        hooks = self._write_hooks
+        if hooks:
+            if len(hooks) == 1:
+                hooks[0](offset, length)
+            else:
+                # Copy: a hook may unregister itself while firing.
+                for hook in tuple(hooks):
+                    hook(offset, length)
 
     def read(self, offset: int, length: int) -> bytes:
         """Snapshot ``length`` bytes starting at ``offset``."""

@@ -24,7 +24,6 @@ from repro.common.errors import RdmaError
 from repro.rdma.completion import Completion, CompletionQueue, Opcode, WcStatus, WorkRequest
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import RNic, get_nic
-from repro.simnet.kernel import Event
 from repro.simnet.node import Node
 
 if TYPE_CHECKING:
@@ -42,6 +41,27 @@ def _as_bytes(payload: bytes | bytearray | memoryview) -> bytes:
     if isinstance(payload, bytes):
         return payload
     return bytes(payload)
+
+
+#: A scatter-gather payload: one buffer or a sequence of buffers that are
+#: written contiguously (e.g. ``[payload_view, footer]``).
+Gather = "bytes | bytearray | memoryview | list | tuple"
+
+
+def _gather_chunks(payload, assume_stable: bool) -> list:
+    """Normalize a payload (single buffer or gather list) into chunks.
+
+    Without ``assume_stable`` every mutable buffer is snapshotted at post
+    time (the classical verbs-emulation behaviour). With it, bytearray /
+    memoryview chunks are wrapped zero-copy; the caller guarantees the
+    bytes stay unchanged until the write has committed remotely.
+    """
+    chunks = (list(payload) if isinstance(payload, (list, tuple))
+              else [payload])
+    if assume_stable:
+        return [chunk if isinstance(chunk, (bytes, memoryview))
+                else memoryview(chunk) for chunk in chunks]
+    return [_as_bytes(chunk) for chunk in chunks]
 
 
 class QueuePair:
@@ -84,10 +104,10 @@ class QueuePair:
                 result: Any = None) -> None:
         """Complete ``wr`` after ``delay`` ns: trigger ``done`` and push a
         CQ entry if the request was signaled."""
-        done_timer = self.env.timeout(delay)
+        done_timer = self.env.pooled_timeout(delay)
 
         def on_done(_event, wr=wr, result=result, byte_len=byte_len):
-            wr.done.succeed(result)
+            wr._complete(result)
             if wr.signaled:
                 self.send_cq.push(Completion(
                     wr_id=wr.wr_id, opcode=wr.opcode, status=WcStatus.SUCCESS,
@@ -96,10 +116,21 @@ class QueuePair:
         done_timer.callbacks.append(on_done)
 
     # -- one-sided WRITE -----------------------------------------------------
-    def post_write(self, payload: bytes | bytearray | memoryview,
+    def post_write(self, payload,
                    remote_rkey: int, remote_offset: int,
-                   signaled: bool = False, wr_id: Any = None) -> WorkRequest:
+                   signaled: bool = False, wr_id: Any = None,
+                   assume_stable: bool = False) -> WorkRequest:
         """Post a one-sided RDMA WRITE of ``payload`` into the remote region.
+
+        ``payload`` is one buffer or a gather list of buffers (written
+        contiguously — DFI posts ``[payload_view, footer]`` so a full
+        segment goes out without an intermediate concatenation).
+
+        With ``assume_stable`` mutable buffers are *not* snapshotted at
+        post time: the commit into remote memory reads the live buffer, so
+        the caller must not touch the bytes until the write completed —
+        exactly the send-ring contract real verbs impose (DFI reuses a
+        ring slot only after the wrap-around completion drained).
 
         Returns the work request; its ``done`` event triggers when the RC
         acknowledgment returns to this sender. The remote CPU is never
@@ -108,38 +139,66 @@ class QueuePair:
         ``_ORDERED_TAIL`` bytes lands strictly earlier, so a footer flag at
         the end of a segment proves the whole segment arrived.
         """
-        data = _as_bytes(payload)
-        if not data:
+        if isinstance(payload, (list, tuple)):
+            chunks = _gather_chunks(payload, assume_stable)
+            size = 0
+            pieces = []  # (offset within the write, chunk)
+            for chunk in chunks:
+                if len(chunk):
+                    pieces.append((size, chunk))
+                    size += len(chunk)
+        else:
+            # Fast path for the dominant case: one buffer, no gather list.
+            chunk = payload
+            if not isinstance(chunk, bytes):
+                chunk = (memoryview(chunk) if assume_stable
+                         else bytes(chunk))
+            size = len(chunk)
+            pieces = [(0, chunk)]
+        if not size:
             raise RdmaError("cannot post a zero-length write")
         remote_region = get_nic(self.remote_node).region(remote_rkey)
-        remote_region.check_range(remote_offset, len(data))
-        size = len(data)
+        remote_region.check_range(remote_offset, size)
         inline = size <= self.nic.profile.max_inline_size
         offset_delay = self.nic.engine_delay(inline)
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
                                          delay=offset_delay)
         tail_len = min(size, _ORDERED_TAIL)
-        prefix = data[:size - tail_len]
-        tail = data[size - tail_len:]
-        if prefix:
+        split = size - tail_len
+        prefix_pieces = []
+        tail_pieces = []
+        for offset, chunk in pieces:
+            end = offset + len(chunk)
+            if end <= split:
+                prefix_pieces.append((offset, chunk))
+            elif offset >= split:
+                tail_pieces.append((offset, chunk))
+            else:
+                view = (chunk if isinstance(chunk, memoryview)
+                        else memoryview(chunk))
+                cut = split - offset
+                prefix_pieces.append((offset, view[:cut]))
+                tail_pieces.append((split, view[cut:]))
+        if prefix_pieces:
             bandwidth = self.nic.profile.link_bandwidth
             prefix_delay = max(0.0, arrival.delay - tail_len / bandwidth)
-            prefix_timer = self.env.timeout(prefix_delay)
+            prefix_timer = self.env.pooled_timeout(prefix_delay)
 
             def commit_prefix(_event, region=remote_region,
-                              offset=remote_offset, chunk=prefix):
-                region.write(offset, chunk)
+                              base=remote_offset, parts=prefix_pieces):
+                for offset, chunk in parts:
+                    region.write(base + offset, chunk)
 
             prefix_timer.callbacks.append(commit_prefix)
 
         def commit_tail(_event, region=remote_region,
-                        offset=remote_offset + size - tail_len, chunk=tail):
-            region.write(offset, chunk)
+                        base=remote_offset, parts=tail_pieces):
+            for offset, chunk in parts:
+                region.write(base + offset, chunk)
 
         arrival.callbacks.append(commit_tail)
-        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.WRITE, signaled=signaled,
-                         done=Event(self.env))
+        wr = WorkRequest(self.env, wr_id, Opcode.WRITE, signaled)
         self._finish(wr, arrival.delay + self._ack_latency(), size)
         return wr
 
@@ -160,8 +219,7 @@ class QueuePair:
         remote_region.check_range(remote_offset, length)
         local_region.check_range(local_offset, length)
         offset_delay = self.nic.engine_delay(inline=True)
-        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.READ, signaled=signaled,
-                         done=Event(self.env))
+        wr = WorkRequest(self.env, wr_id, Opcode.READ, signaled)
         request = self._fabric().unicast(self.node, self.remote_node,
                                          _REQUEST_PACKET_SIZE,
                                          delay=offset_delay, control=True)
@@ -173,7 +231,7 @@ class QueuePair:
 
             def on_response(_event2, data=data):
                 local_region.write(local_offset, data)
-                wr.done.succeed(data)
+                wr._complete(data)
                 if wr.signaled:
                     self.send_cq.push(Completion(
                         wr_id=wr.wr_id, opcode=Opcode.READ,
@@ -192,8 +250,7 @@ class QueuePair:
         remote_region = get_nic(self.remote_node).region(remote_rkey)
         remote_region.check_range(remote_offset, 8)
         offset_delay = self.nic.engine_delay(inline=True)
-        wr = WorkRequest(wr_id=wr_id, opcode=opcode, signaled=signaled,
-                         done=Event(self.env))
+        wr = WorkRequest(self.env, wr_id, opcode, signaled)
         request = self._fabric().unicast(self.node, self.remote_node,
                                          _REQUEST_PACKET_SIZE,
                                          delay=offset_delay, control=True)
@@ -204,7 +261,7 @@ class QueuePair:
                                               control=True)
 
             def on_response(_event2, old_value=old_value):
-                wr.done.succeed(old_value)
+                wr._complete(old_value)
                 if wr.signaled:
                     self.send_cq.push(Completion(
                         wr_id=wr.wr_id, opcode=opcode,
@@ -266,8 +323,7 @@ class QueuePair:
             peer._deliver(data, imm)
 
         arrival.callbacks.append(on_arrival)
-        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.SEND, signaled=signaled,
-                         done=Event(self.env))
+        wr = WorkRequest(self.env, wr_id, Opcode.SEND, signaled)
         self._finish(wr, arrival.delay + self._ack_latency(), size)
         return wr
 
@@ -396,11 +452,10 @@ class UdQueuePair:
                     qp._deliver_datagram(data)
 
             arrival.callbacks.append(on_arrival)
-        wr = WorkRequest(wr_id=wr_id, opcode=Opcode.SEND, signaled=False,
-                         done=Event(self.env))
+        wr = WorkRequest(self.env, wr_id, Opcode.SEND, False)
         send_done = offset_delay + len(data) / self.nic.profile.link_bandwidth
-        timer = self.env.timeout(send_done)
-        timer.callbacks.append(lambda _event: wr.done.succeed())
+        timer = self.env.pooled_timeout(send_done)
+        timer.callbacks.append(lambda _event: wr._complete())
         return wr
 
     def _deliver_datagram(self, data: bytes) -> None:

@@ -60,7 +60,9 @@ class Fabric:
         bypass the switch and are charged the NIC's loopback latency and
         memory-bus copy.
         """
-        self._check_nodes(source, destination)
+        cluster = self.cluster
+        if source.cluster is not cluster or destination.cluster is not cluster:
+            self._check_nodes(source, destination)
         self.unicast_count += 1
         now = self.env.now
         if source is destination:

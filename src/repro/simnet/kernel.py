@@ -22,6 +22,7 @@ Example::
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Generator, Iterable
 from typing import Any, Callable
 
@@ -29,6 +30,9 @@ from repro.common.errors import SimulationError
 
 #: Sentinel for "event has not produced a value yet".
 _PENDING = object()
+
+#: Upper bound on recycled Timeout objects kept by an Environment.
+_TIMEOUT_POOL_CAP = 256
 
 
 class Event:
@@ -110,7 +114,7 @@ class Event:
 class Timeout(Event):
     """Event that triggers automatically after a fixed delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_poolable")
 
     def __init__(self, env: "Environment", delay: float,
                  value: Any = None) -> None:
@@ -118,6 +122,7 @@ class Timeout(Event):
             raise SimulationError(f"negative timeout delay: {delay}")
         super().__init__(env)
         self.delay = delay
+        self._poolable = False
         self._value = value
         env._schedule(self, delay)
 
@@ -225,14 +230,18 @@ class Process(Event):
 class Condition(Event):
     """Base class for :class:`AllOf` / :class:`AnyOf` composite events."""
 
-    __slots__ = ("events", "_remaining")
+    __slots__ = ("events", "_remaining", "_indices")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self.events = list(events)
-        for event in self.events:
+        # id -> first construction index: O(1) lookup in _check (and the
+        # first index is the right answer when an event appears twice).
+        self._indices: dict[int, int] = {}
+        for index, event in enumerate(self.events):
             if event.env is not env:
                 raise SimulationError("events belong to different kernels")
+            self._indices.setdefault(id(event), index)
         self._remaining = len(self.events)
         if not self.events:
             self.succeed(self._collect())
@@ -290,17 +299,35 @@ class AnyOf(Condition):
             event.defuse()
             self.fail(event._exception)
             return
-        self.succeed((self.events.index(event), event._value))
+        self.succeed((self._indices[id(event)], event._value))
 
 
 class Environment:
-    """The simulation kernel: clock, event queue, and run loop."""
+    """The simulation kernel: clock, event queue, and run loop.
+
+    Two scheduling fast paths keep the hot loop cheap without changing
+    observable order:
+
+    * zero-delay events (process resumes, ``succeed()`` wakeups — the vast
+      majority) bypass the heap into a FIFO deque. Both structures order
+      by ``(time, sequence)``, and :meth:`step` always pops the global
+      minimum, so tie-breaking stays bit-for-bit identical to a pure heap;
+    * :meth:`pooled_timeout` recycles processed :class:`Timeout` objects
+      for fire-and-forget timers (NIC engine delays, CPU-cost charges)
+      whose references are dropped once they fire.
+    """
+
+    __slots__ = ("_now", "_queue", "_immediate", "_sequence",
+                 "_active_process", "_timeout_pool")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
+        #: Zero-delay events in FIFO order (times are non-decreasing).
+        self._immediate: deque[tuple[float, int, Event]] = deque()
         self._sequence = 0
         self._active_process: Process | None = None
+        self._timeout_pool: list[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -321,6 +348,34 @@ class Environment:
         """Create an event that triggers after ``delay`` ns."""
         return Timeout(self, delay, value)
 
+    def pooled_timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Like :meth:`timeout`, but drawn from a recycling pool.
+
+        The returned event is reclaimed by the kernel right after its
+        callbacks run, so callers must not inspect it once a later event
+        has been processed — use it only for fire-and-forget timers that
+        are yielded (or given callbacks) immediately and then dropped.
+        The internal hot paths (NIC engine delays, fabric arrivals, CPU
+        cost charges) satisfy this by construction.
+        """
+        pool = self._timeout_pool
+        if not pool:
+            timer = Timeout(self, delay, value)
+            timer._poolable = True
+            return timer
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        timer = pool.pop()
+        timer.callbacks = []
+        timer._value = value
+        timer._exception = None
+        timer._defused = False
+        timer._scheduled = False
+        timer._processed = False
+        timer.delay = delay
+        self._schedule(timer, delay)
+        return timer
+
     def process(self, generator: Generator[Event, Any, Any],
                 name: str | None = None) -> Process:
         """Start a new process driving ``generator``."""
@@ -340,13 +395,35 @@ class Environment:
             raise SimulationError(f"{event!r} already scheduled")
         event._scheduled = True
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, event))
+        if delay == 0.0:
+            # Zero-delay fast path: O(1) FIFO append instead of a heap
+            # sift. Entries keep their (time, sequence) key so step() can
+            # merge both structures in exact heap order.
+            self._immediate.append((self._now, self._sequence, event))
+        else:
+            heapq.heappush(self._queue,
+                           (self._now + delay, self._sequence, event))
+
+    def _pop_next(self) -> tuple[float, int, Event]:
+        """Pop the globally next (time, sequence) event from the heap or
+        the zero-delay deque."""
+        immediate = self._immediate
+        queue = self._queue
+        if immediate:
+            if queue:
+                head = queue[0]
+                first = immediate[0]
+                if head[0] < first[0] or (head[0] == first[0]
+                                          and head[1] < first[1]):
+                    return heapq.heappop(queue)
+            return immediate.popleft()
+        if queue:
+            return heapq.heappop(queue)
+        raise SimulationError("event queue is empty")
 
     def step(self) -> None:
         """Process the single next event on the queue."""
-        if not self._queue:
-            raise SimulationError("event queue is empty")
-        when, _seq, event = heapq.heappop(self._queue)
+        when, _seq, event = self._pop_next()
         self._now = when
         callbacks = event.callbacks
         event.callbacks = None
@@ -356,6 +433,9 @@ class Environment:
             callback(event)
         if event._exception is not None and not event._defused:
             raise event._exception
+        if (type(event) is Timeout and event._poolable
+                and len(self._timeout_pool) < _TIMEOUT_POOL_CAP):
+            self._timeout_pool.append(event)
 
     def run(self, until: float | Event | None = None) -> Any:
         """Run the simulation.
@@ -373,13 +453,21 @@ class Environment:
             if stop_time < self._now:
                 raise SimulationError(
                     f"until ({stop_time}) lies in the past (now={self._now})")
-        while self._queue:
+        queue = self._queue
+        immediate = self._immediate
+        step = self.step
+        if stop_event is None and stop_time is None:
+            # Hot path: drain everything, no per-step stop checks.
+            while queue or immediate:
+                step()
+            return None
+        while queue or immediate:
             if stop_event is not None and stop_event._processed:
                 return stop_event.value
-            if stop_time is not None and self._queue[0][0] > stop_time:
+            if stop_time is not None and self.peek() > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            step()
         if stop_event is not None:
             if stop_event._processed:
                 return stop_event.value
@@ -392,4 +480,8 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
+        if self._immediate:
+            when = self._immediate[0][0]
+            if not self._queue or when <= self._queue[0][0]:
+                return when
         return self._queue[0][0] if self._queue else float("inf")

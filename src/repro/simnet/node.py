@@ -38,8 +38,11 @@ class Node:
 
     def compute(self, ns: float) -> Timeout:
         """Return a timeout charging ``ns`` of nominal CPU work, stretched
-        by the node's frequency scale."""
-        return self.env.timeout(ns / self._cpu_scale)
+        by the node's frequency scale.
+
+        The timeout is pool-recycled once it fires: yield it right away
+        (as every call site does) rather than storing it."""
+        return self.env.pooled_timeout(ns / self._cpu_scale)
 
     def spawn(self, generator: Generator[Event, Any, Any],
               name: str | None = None) -> Process:
