@@ -30,7 +30,51 @@ from repro.bench.flows import (  # noqa: E402
     measure_shuffle_bandwidth,
     measure_shuffle_rtt,
 )
-from repro.core import FlowOptions, Optimization  # noqa: E402
+from repro.core import (  # noqa: E402
+    FLOW_END,
+    AggregationSpec,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Optimization,
+    Schema,
+)
+from repro.simnet import Cluster  # noqa: E402
+
+
+def _combiner_step_fingerprint() -> tuple:
+    """N:1 combiner drained with ``consume_step`` (the incremental consume
+    path): exact finish time plus an order-independent aggregate checksum."""
+    cluster = Cluster(node_count=5)
+    dfi = DfiRuntime(cluster)
+    schema = Schema(("group", "uint64"), ("value", "uint64"))
+    dfi.init_combiner_flow(
+        "fp-agg", [Endpoint(1 + n, 0) for n in range(4)], Endpoint(0, 0),
+        schema, aggregation=AggregationSpec("sum", "group", "value"),
+        options=FlowOptions(source_segments=4, target_segments=16,
+                            credit_threshold=8))
+    out = {}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("fp-agg", index)
+        for i in range(2000):
+            yield from source.push((i % 32, i))
+        yield from source.close()
+
+    def target_thread():
+        target = yield from dfi.open_target("fp-agg")
+        while (yield from target.consume_step()) is not FLOW_END:
+            pass
+        out["aggregates"] = dict(target.aggregates)
+        out["tuples"] = target.tuples_aggregated
+
+    for index in range(4):
+        cluster.env.process(source_thread(index))
+    cluster.env.process(target_thread())
+    cluster.run()
+    checksum = sum(group * 31 + value
+                   for group, value in sorted(out["aggregates"].items()))
+    return cluster.now, out["tuples"], checksum
 
 
 def collect() -> dict:
@@ -54,6 +98,17 @@ def collect() -> dict:
             measure_replicate_rtt(64, 3, multicast, iterations=30))
     m = measure_combiner_bandwidth(16, 1, total_bytes=512 << 10)
     fp["combiner_16B"] = m.elapsed_ns
+    # Consume-path scenarios (PR 2): N:1 flows stress the target-side
+    # drain loop — many channels funneling into one consume_batch loop.
+    m = measure_shuffle_bandwidth(64, 8, target_nodes=1,
+                                  total_bytes=1 << 20)
+    fp["consume_nto1_64B_8src"] = m.elapsed_ns
+    m = measure_shuffle_bandwidth(
+        64, 4, target_nodes=1, total_bytes=128 << 10,
+        optimization=Optimization.LATENCY,
+        options=FlowOptions(target_segments=64, credit_threshold=16))
+    fp["consume_nto1_lat_64B_4src"] = m.elapsed_ns
+    fp["consume_combiner_step_4src"] = _combiner_step_fingerprint()
     return fp
 
 

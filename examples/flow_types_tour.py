@@ -21,34 +21,42 @@ SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
 
 
 def demo_shuffle() -> None:
-    """N:M shuffle with a custom routing function (range partitioning)."""
-    print("=== shuffle flow (2 sources -> 2 targets, range routing) ===")
+    """N:M shuffle with a custom routing function (range partitioning),
+    batched end-to-end: ``push_batch`` on the sources, ``consume_batch``
+    on the targets — the fast path on both sides of the wire."""
+    print("=== shuffle flow (2 sources -> 2 targets, range routing, "
+          "batched) ===")
     cluster = Cluster(node_count=4)
     dfi = DfiRuntime(cluster)
     dfi.init_shuffle_flow(
         "shuffle", ["node0|0", "node1|0"], ["node2|0", "node3|0"], SCHEMA,
         routing=lambda values, count: 0 if values[0] < 50 else 1)
     received = {0: [], 1: []}
+    batches = {0: 0, 1: 0}
 
     def source(index):
         src = yield from dfi.open_source("shuffle", index)
-        for i in range(100):
-            yield from src.push((i, index))
+        # One call routes, packs and ships the whole batch (the router
+        # partitions it across both targets).
+        yield from src.push_batch([(i, index) for i in range(100)])
         yield from src.close()
 
     def target(index):
         tgt = yield from dfi.open_target("shuffle", index)
-        while (item := (yield from tgt.consume())) is not FLOW_END:
-            received[index].append(item)
+        while (batch := (yield from tgt.consume_batch())) is not FLOW_END:
+            # A batch holds everything available now: all consumable
+            # segments of every ready channel, possibly spanning sources.
+            received[index].extend(batch)
+            batches[index] += 1
 
     for i in range(2):
         cluster.env.process(source(i))
         cluster.env.process(target(i))
     cluster.run()
-    print(f"  target 0 holds keys < 50:  {len(received[0])} tuples, "
-          f"max key {max(k for k, _ in received[0])}")
-    print(f"  target 1 holds keys >= 50: {len(received[1])} tuples, "
-          f"min key {min(k for k, _ in received[1])}\n")
+    print(f"  target 0 holds keys < 50:  {len(received[0])} tuples in "
+          f"{batches[0]} batches, max key {max(k for k, _ in received[0])}")
+    print(f"  target 1 holds keys >= 50: {len(received[1])} tuples in "
+          f"{batches[1]} batches, min key {min(k for k, _ in received[1])}\n")
 
 
 def demo_ordered_replicate() -> None:

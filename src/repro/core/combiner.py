@@ -70,6 +70,7 @@ class CombinerTarget:
         self._fold = _aggregator(spec.op)
         self._op = spec.op
         self._aggregates: dict = {}
+        self._fold_batch = self._build_batch_fold()
         self.tuples_aggregated = 0
 
     @classmethod
@@ -83,6 +84,8 @@ class CombinerTarget:
         return self._aggregates
 
     def _fold_in(self, values: tuple) -> None:
+        """Fold one tuple (reference semantics; batches go through the
+        specialized :meth:`_fold_batch`)."""
         group = values[self._group_index]
         value = values[self._value_index]
         if group in self._aggregates:
@@ -92,15 +95,65 @@ class CombinerTarget:
             self._aggregates[group] = _initial(self._op, value)
         self.tuples_aggregated += 1
 
+    def _build_batch_fold(self):
+        """Compile the operator-specialized batch fold loop.
+
+        One closure per aggregate op with everything the inner loop
+        touches pre-bound to locals — ``dict.get``/``dict.__setitem__``
+        of the aggregate table and the hoisted group/value column
+        indices — so folding a batch costs one Python-level loop with no
+        attribute lookups, no method call and no lambda dispatch per
+        tuple. Aggregate values come from ``struct`` unpacking and are
+        never ``None``, which lets ``get``'s default double as the
+        first-observation test.
+        """
+        aggregates = self._aggregates
+        get = aggregates.get
+        put = aggregates.__setitem__
+        group_index = self._group_index
+        value_index = self._value_index
+        op = self._op
+        if op == "sum":
+            def fold_batch(batch):
+                for values in batch:
+                    group = values[group_index]
+                    value = values[value_index]
+                    current = get(group)
+                    put(group, value if current is None else current + value)
+        elif op == "count":
+            def fold_batch(batch):
+                for values in batch:
+                    group = values[group_index]
+                    current = get(group)
+                    put(group, 1 if current is None else current + 1)
+        elif op == "min":
+            def fold_batch(batch):
+                for values in batch:
+                    group = values[group_index]
+                    value = values[value_index]
+                    current = get(group)
+                    if current is None or value < current:
+                        put(group, value)
+        else:  # "max" — _aggregator already rejected unknown ops
+            def fold_batch(batch):
+                for values in batch:
+                    group = values[group_index]
+                    value = values[value_index]
+                    current = get(group)
+                    if current is None or value > current:
+                        put(group, value)
+        return fold_batch
+
     def consume_all(self):
         """Generator: drain the flow to completion and return the final
         group -> aggregate dictionary."""
+        fold_batch = self._fold_batch
         while True:
             batch = yield from self._inner.consume_batch()
             if batch is FLOW_END:
                 return self._aggregates
-            for values in batch:
-                self._fold_in(values)
+            fold_batch(batch)
+            self.tuples_aggregated += len(batch)
 
     def consume_step(self):
         """Generator: fold in the next available batch of tuples.
@@ -112,8 +165,8 @@ class CombinerTarget:
         batch = yield from self._inner.consume_batch()
         if batch is FLOW_END:
             return FLOW_END
-        for values in batch:
-            self._fold_in(values)
+        self._fold_batch(batch)
+        self.tuples_aggregated += len(batch)
         return len(batch)
 
     @property

@@ -345,11 +345,20 @@ class NaiveReplicateTarget(ShuffleTarget):
         self._ordered = descriptor.ordering is Ordering.GLOBAL
         self._reorder = ReorderBuffer() if self._ordered else None
 
-    def _scan(self) -> bool:
+    def _scan(self, out) -> bool:
         if not self._ordered:
-            return super()._scan()
+            return super()._scan(out)
+        # Ordered mode goes segment-by-segment through ``poll`` (the
+        # reorder buffer needs each footer's sequence number) but still
+        # rides the doorbell set: only channels whose ring saw a write
+        # are polled, and each is drained until empty.
         progressed = False
-        for channel in self._channels:
+        dirty = self._dirty
+        channels = self._channels
+        while dirty:
+            index = next(iter(dirty))
+            del dirty[index]
+            channel = channels[index]
             while True:
                 polled = channel.poll()
                 if polled is None:
@@ -357,13 +366,23 @@ class NaiveReplicateTarget(ShuffleTarget):
                 footer, tuples = polled
                 self._reorder.insert(footer.seq, tuples)
                 progressed = True
+            if channel.aborted:
+                self._abort_seen = True
         while True:
             ready = self._reorder.pop_ready()
             if ready is None:
                 break
             _seq, tuples = ready
-            self._buffer.extend(tuples)
+            out.extend(tuples)
         return progressed
+
+    def consume_bytes(self):
+        if self._ordered:
+            raise FlowError(
+                "consume_bytes is not available on globally ordered "
+                "replicate flows: raw segment views cannot pass the "
+                "reorder buffer")
+        return super().consume_bytes()
 
     def _finished(self) -> bool:
         done = all(channel.done for channel in self._channels)
@@ -690,10 +709,8 @@ class MulticastReplicateTarget:
                 region, offset, length = wc.result
                 footer = unpack_footer(
                     region.view(offset + length - FOOTER_SIZE, FOOTER_SIZE))
-                count = footer.used // schema.tuple_size
-                tuples = (schema.unpack_many(
-                    region.view(offset, footer.used), count)
-                    if count else [])
+                tuples = (schema.unpack_rows(region.view(offset, footer.used))
+                          if footer.used else [])
                 # Free the slot for the next datagram right away: the
                 # payload has been decoded out of the ring.
                 self._ud_qp.post_recv(region, offset, self._slot_size)

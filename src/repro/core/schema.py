@@ -63,6 +63,9 @@ class Schema:
         self._struct = struct.Struct("<" + self._codes)
         if self._struct.size != offset:
             raise AssertionError("packed size does not match field offsets")
+        #: Bound method cache: ``unpack_rows`` runs once per drained
+        #: segment on the target hot path.
+        self._iter_unpack = self._struct.iter_unpack
         #: Compiled batch structs, keyed by tuple count (push_batch packs a
         #: whole segment with a single struct call).
         self._batch_structs: dict[int, struct.Struct] = {}
@@ -164,7 +167,35 @@ class Schema:
         if offset or len(buffer) != span:
             buffer = memoryview(buffer)[offset:offset + span]
         # iter_unpack walks the whole payload in C, one call per segment.
-        return list(self._struct.iter_unpack(buffer))
+        return list(self._iter_unpack(buffer))
+
+    def unpack_rows(self, buffer) -> list[tuple]:
+        """Unpack every tuple in ``buffer`` — the target-side drain hot
+        path. ``buffer`` must hold a whole number of packed tuples (a
+        segment's used payload always does); unlike :meth:`unpack_many`
+        there is no count bookkeeping or slicing, just one C call."""
+        try:
+            return list(self._iter_unpack(buffer))
+        except struct.error as exc:
+            raise SchemaError(
+                f"cannot unpack {len(buffer)} bytes as "
+                f"{self.tuple_size}-byte tuples: {exc}") from None
+
+    def row_views(self, buffer) -> list[memoryview]:
+        """Split ``buffer`` into one zero-copy memoryview per packed tuple.
+
+        The views alias ``buffer``'s memory — for views handed out by
+        ``consume_bytes`` the ring-segment lifetime rules apply (valid
+        only until the consuming process yields back to the simulator).
+        """
+        size = self._struct.size
+        view = buffer if isinstance(buffer, memoryview) else memoryview(buffer)
+        span = len(view)
+        if span % size:
+            raise SchemaError(
+                f"cannot split {span} bytes into {size}-byte rows")
+        return [view[offset:offset + size]
+                for offset in range(0, span, size)]
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):

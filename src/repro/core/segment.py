@@ -36,6 +36,21 @@ FLAG_ABORTED = 0x4
 _SOURCE_SHIFT = 16
 _FLAG_MASK = (1 << _SOURCE_SHIFT) - 1
 
+#: The released-segment footer (used=0, flags=0, seq=0): what a target
+#: writes back over a consumed segment's footer to mark it writable.
+BLANK_FOOTER = bytes(FOOTER_SIZE)
+
+
+def footer_consumable(data) -> bool:
+    """Fast CONSUMABLE test on 16 raw footer bytes — no decode.
+
+    The flags word is a little-endian u32 at byte 4 and every protocol
+    flag lives in its low byte, so one indexed load answers the only
+    question the writability/poll hot paths ask. Full decodes go through
+    :func:`unpack_footer`.
+    """
+    return bool(data[4] & FLAG_CONSUMABLE)
+
 
 class Footer(NamedTuple):
     """Decoded segment footer.

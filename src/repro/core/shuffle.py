@@ -35,14 +35,15 @@ from repro.core.flowdef import (
 from repro.core.registry import FlowRegistry, RingHandle
 from repro.core.routing import key_hash_router
 from repro.core.segment import (
+    BLANK_FOOTER,
     FLAG_ABORTED,
     FLAG_CLOSED,
     FLAG_CONSUMABLE,
     FOOTER_SIZE,
     SegmentRing,
+    footer_consumable,
     pack_footer,
     pack_footer_into,
-    unpack_footer,
 )
 from repro.rdma.nic import get_nic
 
@@ -362,7 +363,7 @@ class BandwidthSourceChannel:
                 data = wr.done.value
             else:
                 data = yield wr.done
-            if not unpack_footer(data).consumable:
+            if not footer_consumable(data):
                 return
             # Remote ring full: back off briefly, then re-poll the footer.
             yield self.env.timeout(
@@ -559,7 +560,7 @@ class LatencySourceChannel:
 
 
 class TargetChannel:
-    """Target half of one channel: a receive ring polled in ring order."""
+    """Target half of one channel: a receive ring drained in ring order."""
 
     def __init__(self, node: "Node", descriptor: FlowDescriptor,
                  ring: SegmentRing, credit_region, credit_offset: int) -> None:
@@ -570,6 +571,14 @@ class TargetChannel:
         self._credit_offset = credit_offset
         self._track_credits = (descriptor.optimization
                                is Optimization.LATENCY)
+        #: Publish the consumed counter once per :meth:`drain` (latency
+        #: mode) instead of once per segment. Both placements are
+        #: observationally identical — a drain runs inside one event
+        #: continuation, so no remote credit read can sample between the
+        #: per-segment writes — but the toggle lets tests prove that.
+        self.credit_coalescing = True
+        self._footer_offsets = tuple(ring.footer_offset(index)
+                                     for index in range(ring.segment_count))
         self._index = 0
         self._consumed = 0
         self.done = False
@@ -583,12 +592,16 @@ class TargetChannel:
     def poll(self):
         """Check the current segment; return ``(footer, tuples)`` (tuples
         may be empty for a bare close marker) or ``None`` if nothing
-        arrived."""
+        arrived. Per-segment granularity — kept for consumers that need
+        the decoded footer (ordered replicate); bulk paths use
+        :meth:`drain`."""
         if self.done:
             return None
-        footer = self.ring.read_footer(self._index)
-        if not footer.consumable:
+        mem = self.ring.region.mem
+        footer_offset = self._footer_offsets[self._index]
+        if not (mem[footer_offset + 4] & FLAG_CONSUMABLE):
             return None
+        footer = self.ring.read_footer(self._index)
         count = footer.used // self.schema.tuple_size
         if count:
             payload = self.ring.payload_view(self._index, footer.used)
@@ -602,9 +615,7 @@ class TargetChannel:
             tuples = []  # abort voids any delivery guarantee
         # Release the segment: reset the footer locally (writable again).
         # Direct memory write — no write hooks should fire for local resets.
-        footer_offset = self.ring.footer_offset(self._index)
-        self.ring.region.mem[footer_offset:footer_offset + FOOTER_SIZE] = (
-            pack_footer(0, 0, 0))
+        mem[footer_offset:footer_offset + FOOTER_SIZE] = BLANK_FOOTER
         self._index = self.ring.next_index(self._index)
         self._consumed += 1
         self.tuples_received += len(tuples)
@@ -612,6 +623,121 @@ class TargetChannel:
             self._credit_region.write_u64(self._credit_offset,
                                           self._consumed)
         return footer, tuples
+
+    def drain(self, out) -> int:
+        """Consume every consecutive consumable segment in one pass.
+
+        Unpacked tuples are appended to ``out`` (list or deque); footers
+        are released with direct hook-free memory writes as the pass
+        walks the ring, and in latency mode the consumed-credit counter
+        is published with **one** ``write_u64`` per drain instead of one
+        per segment (unless :attr:`credit_coalescing` is off). Returns
+        the number of segments drained.
+        """
+        if self.done:
+            return 0
+        mem = self.ring.region.mem
+        offsets = self._footer_offsets
+        segment_count = len(offsets)
+        payload_view = self.ring.payload_view
+        unpack_rows = self.schema.unpack_rows
+        extend = out.extend
+        index = self._index
+        consumed = self._consumed
+        per_segment_credits = (self._track_credits
+                               and not self.credit_coalescing)
+        drained = 0
+        received = 0
+        while True:
+            footer_offset = offsets[index]
+            flags = mem[footer_offset + 4]
+            if not (flags & FLAG_CONSUMABLE):
+                break
+            used = int.from_bytes(mem[footer_offset:footer_offset + 4],
+                                  "little")
+            if flags & (FLAG_CLOSED | FLAG_ABORTED):
+                if flags & FLAG_ABORTED:
+                    self.aborted = True
+                    used = 0  # abort voids its own segment's delivery
+                if flags & FLAG_CLOSED:
+                    self.done = True
+            if used:
+                tuples = unpack_rows(payload_view(index, used))
+                extend(tuples)
+                received += len(tuples)
+            mem[footer_offset:footer_offset + FOOTER_SIZE] = BLANK_FOOTER
+            index += 1
+            if index == segment_count:
+                index = 0
+            drained += 1
+            if per_segment_credits:
+                self._credit_region.write_u64(self._credit_offset,
+                                              consumed + drained)
+            if self.done:
+                break
+        if drained:
+            self._index = index
+            self._consumed = consumed + drained
+            self.tuples_received += received
+            if self._track_credits and not per_segment_credits:
+                self._credit_region.write_u64(self._credit_offset,
+                                              self._consumed)
+        return drained
+
+    def drain_bytes(self, out) -> int:
+        """Like :meth:`drain` but appends one zero-copy payload
+        ``memoryview`` per data segment (each a whole number of packed
+        tuples) instead of unpacking. The views alias ring memory that
+        this call already released for overwrite — they are valid only
+        until the consuming process yields back to the simulator."""
+        if self.done:
+            return 0
+        mem = self.ring.region.mem
+        offsets = self._footer_offsets
+        segment_count = len(offsets)
+        payload_view = self.ring.payload_view
+        append = out.append
+        tuple_size = self.schema.tuple_size
+        index = self._index
+        consumed = self._consumed
+        per_segment_credits = (self._track_credits
+                               and not self.credit_coalescing)
+        drained = 0
+        received = 0
+        while True:
+            footer_offset = offsets[index]
+            flags = mem[footer_offset + 4]
+            if not (flags & FLAG_CONSUMABLE):
+                break
+            used = int.from_bytes(mem[footer_offset:footer_offset + 4],
+                                  "little")
+            if flags & (FLAG_CLOSED | FLAG_ABORTED):
+                if flags & FLAG_ABORTED:
+                    self.aborted = True
+                    used = 0
+                if flags & FLAG_CLOSED:
+                    self.done = True
+            if used:
+                append(payload_view(index, used))
+                received += used // tuple_size
+            mem[footer_offset:footer_offset + FOOTER_SIZE] = BLANK_FOOTER
+            index += 1
+            if index == segment_count:
+                index = 0
+            drained += 1
+            if per_segment_credits:
+                self._credit_region.write_u64(self._credit_offset,
+                                              consumed + drained)
+            if self.done:
+                break
+        if drained:
+            self._index = index
+            self._consumed = consumed + drained
+            self.tuples_received += received
+            if self._track_credits and not per_segment_credits:
+                self._credit_region.write_u64(self._credit_offset,
+                                              self._consumed)
+        return drained
 
 
 class ShuffleSource:
@@ -835,9 +961,48 @@ class ShuffleTarget:
             descriptor.targets[target_index].node_id)
         self._channels = channels
         self._buffer: deque = deque()
-        self._cursor = 0
-        self._waiter = _RingWriteWaiter(
-            self.node.env, [channel.ring.region for channel in channels])
+        # Doorbell set: channel indices whose ring saw a write since the
+        # channel was last drained. A persistent write hook per ring feeds
+        # it, so a scan touches only channels that actually received data
+        # instead of round-robin-polling every idle ring (O(dirty), not
+        # O(channels), on N:1 flows). An insertion-ordered dict keeps the
+        # drain order deterministic (write-arrival order). All channels
+        # start dirty; hooks are registered here — synchronously with ring
+        # allocation, before any simulated write can land — so no doorbell
+        # ring is ever missed. The same hook doubles as the consume
+        # wake-up (succeeding ``_wake_event`` when one is armed),
+        # replacing the per-wakeup transient hooks of ``_RingWriteWaiter``
+        # — rings keep exactly one hook, so every RDMA write stays on the
+        # region's single-hook fast path.
+        self._dirty: dict = dict.fromkeys(range(len(channels)))
+        self._wake_event = None
+        self._abort_seen = False
+        self._env = self.node.env
+        for index, channel in enumerate(channels):
+            channel.ring.region.add_write_hook(
+                self._make_doorbell(index))
+
+    def _make_doorbell(self, index: int):
+        dirty = self._dirty
+        def ring_doorbell(_offset, _length):
+            dirty[index] = None
+            event = self._wake_event
+            if event is not None:
+                self._wake_event = None
+                event.succeed()
+        return ring_doorbell
+
+    def _arm(self):
+        """Arm the doorbell wake-up: returns a fresh event the next ring
+        write will succeed. Timing-identical to the transient-hook waiter
+        it replaces (one event per arm, fired by the first write that
+        lands while armed)."""
+        event = self._env.event()
+        self._wake_event = event
+        return event
+
+    def _disarm(self) -> None:
+        self._wake_event = None
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str,
@@ -877,62 +1042,184 @@ class ShuffleTarget:
     # -- the consume primitive ----------------------------------------------
     def consume(self):
         """Generator: return the next tuple, or :data:`FLOW_END` once every
-        source has closed and all data has been drained."""
-        if self._buffer:
-            return self._buffer.popleft()
+        source has closed and all data has been drained.
+
+        Buffered tuples are always delivered before an abort surfaces: a
+        single drain pass can pick up data segments *and* an abort marker,
+        and per-channel FIFO delivery holds up to the abort point —
+        :class:`FlowAbortedError` is raised once the buffer is empty.
+        """
+        buffer = self._buffer
+        if buffer:
+            return buffer.popleft()
         while True:
-            wait_event = self._waiter.arm()
-            progressed = self._scan()
-            if any(channel.aborted for channel in self._channels):
-                self._waiter.disarm()
+            wait_event = self._arm()
+            progressed = self._scan(buffer)
+            if buffer:
+                self._disarm()
+                return buffer.popleft()
+            if self._abort_seen:
+                self._disarm()
                 raise FlowAbortedError(
                     f"flow {self.descriptor.name!r} was aborted by a "
                     f"source")
-            if self._buffer:
-                self._waiter.disarm()
-                return self._buffer.popleft()
             if self._finished():
-                self._waiter.disarm()
+                self._disarm()
                 return FLOW_END
             if progressed:
                 # Close markers or empty segments arrived; rescan.
-                self._waiter.disarm()
+                self._disarm()
                 continue
             yield wait_event
-            self._waiter.disarm()
+            self._disarm()
             yield self.node.compute(
                 self.node.cluster.profile.cpu_poll_cost)
 
     def consume_batch(self):
-        """Generator: return all currently buffered tuples as a list (at
-        least one segment's worth), or :data:`FLOW_END`. Cheaper than
-        per-tuple consume for bulk processing."""
-        first = yield from self.consume()
-        if first is FLOW_END:
-            return FLOW_END
-        batch = [first]
+        """Generator: return every tuple available right now as one list,
+        or :data:`FLOW_END` once all sources closed and data drained.
+
+        Batch-size contract: the list holds **all** tuples buffered at
+        return time — every ready channel is drained first (all of its
+        consecutive consumable segments), so a batch spans segments and
+        channels; the flow never returns after just the first buffered
+        segment. Its length is bounded by what the receive rings can hold
+        (``source_count * target_segments`` segments) plus whatever an
+        earlier per-tuple ``consume`` left buffered, and is at least 1 —
+        an exhausted flow returns :data:`FLOW_END`, never ``[]``. As with
+        :meth:`consume`, buffered tuples are delivered before an abort is
+        raised.
+        """
+        buffer = self._buffer
+        if buffer:
+            # Leftovers from per-tuple consumes: drain into the deque so
+            # FIFO order holds across the mix, then hand over everything.
+            if self._dirty:
+                self._scan(buffer)
+            batch = list(buffer)
+            buffer.clear()
+            return batch
+        if self._dirty:
+            # Hot path: drain straight into the batch list — no deque
+            # round-trip per tuple.
+            batch: list = []
+            self._scan(batch)
+            if batch:
+                return batch
+        while True:
+            wait_event = self._arm()
+            batch = []
+            progressed = self._scan(batch)
+            if batch:
+                self._disarm()
+                return batch
+            if self._abort_seen:
+                self._disarm()
+                raise FlowAbortedError(
+                    f"flow {self.descriptor.name!r} was aborted by a "
+                    f"source")
+            if self._finished():
+                self._disarm()
+                return FLOW_END
+            if progressed:
+                self._disarm()
+                continue
+            yield wait_event
+            self._disarm()
+            yield self.node.compute(
+                self.node.cluster.profile.cpu_poll_cost)
+
+    def consume_bytes(self):
+        """Generator: return a list of zero-copy payload ``memoryview``
+        chunks — one per drained segment, each a whole number of tuples
+        packed in the flow's schema — or :data:`FLOW_END`. The mirror of
+        ``push_bytes``: tuples cross the consume boundary without ever
+        being unpacked (``Schema.unpack_rows``/``row_views`` decode on
+        demand).
+
+        Lifetime rule: the views alias receive-ring memory whose segments
+        this call already released for reuse. They stay valid only until
+        the consuming process next yields to the simulator (its next
+        ``yield``/``yield from`` — another consume, a push, a compute);
+        after that a source may overwrite them. Copy with ``bytes(view)``
+        to keep data longer.
+
+        Cannot be mixed with tuple-returning consumes while unpacked
+        tuples are buffered (raises :class:`FlowError`).
+        """
         if self._buffer:
-            batch.extend(self._buffer)
-            self._buffer.clear()
-        return batch
+            raise FlowError(
+                "consume_bytes with unpacked tuples buffered; drain them "
+                "with consume/consume_batch first")
+        chunks: list = []
+        if self._dirty:
+            self._scan_bytes(chunks)
+        if chunks:
+            return chunks
+        while True:
+            wait_event = self._arm()
+            progressed = self._scan_bytes(chunks)
+            if chunks:
+                self._disarm()
+                return chunks
+            if self._abort_seen:
+                self._disarm()
+                raise FlowAbortedError(
+                    f"flow {self.descriptor.name!r} was aborted by a "
+                    f"source")
+            if self._finished():
+                self._disarm()
+                return FLOW_END
+            if progressed:
+                self._disarm()
+                continue
+            yield wait_event
+            self._disarm()
+            yield self.node.compute(
+                self.node.cluster.profile.cpu_poll_cost)
 
     def _finished(self) -> bool:
         """True once the flow is fully drained (hook for subclasses)."""
         return all(channel.done for channel in self._channels)
 
-    def _scan(self) -> bool:
-        """Round-robin poll all channels once; buffer whatever arrived."""
+    def _scan(self, out) -> bool:
+        """Drain every doorbell'd channel into ``out`` (any container
+        with ``extend`` — the tuple buffer deque, or a batch list that
+        goes straight to the caller without a deque round-trip).
+
+        Each dirty channel is drained of all its consecutive consumable
+        segments; a channel leaves the dirty set only here, immediately
+        before the drain, so a write landing later re-marks it via the
+        hook and nothing is ever missed. Drains fire no write hooks
+        themselves (footer releases are direct memory stores), so the
+        set cannot grow while it is walked by our own doing.
+        """
         progressed = False
-        count = len(self._channels)
-        for step in range(count):
-            channel = self._channels[(self._cursor + step) % count]
-            polled = channel.poll()
-            if polled is None:
-                continue
-            progressed = True
-            _footer, tuples = polled
-            self._buffer.extend(tuples)
-        self._cursor = (self._cursor + 1) % count
+        dirty = self._dirty
+        channels = self._channels
+        while dirty:
+            index = next(iter(dirty))
+            del dirty[index]
+            channel = channels[index]
+            if channel.drain(out):
+                progressed = True
+                if channel.aborted:
+                    self._abort_seen = True
+        return progressed
+
+    def _scan_bytes(self, out: list) -> bool:
+        """Doorbell-set scan for the zero-copy path: chunks, not tuples."""
+        progressed = False
+        dirty = self._dirty
+        channels = self._channels
+        while dirty:
+            index = next(iter(dirty))
+            del dirty[index]
+            channel = channels[index]
+            if channel.drain_bytes(out):
+                progressed = True
+                if channel.aborted:
+                    self._abort_seen = True
         return progressed
 
     # -- introspection -----------------------------------------------------

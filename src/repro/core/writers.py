@@ -18,9 +18,9 @@ from repro.common.rand import derive_rng
 from repro.core.registry import RingHandle
 from repro.core.segment import (
     FOOTER_SIZE,
+    footer_consumable,
     pack_footer,
     pack_footer_into,
-    unpack_footer,
 )
 from repro.rdma.nic import get_nic
 
@@ -103,7 +103,7 @@ class FooterRingWriter:
             wr = self._read_footer()
         while True:
             data = wr.done.value if wr.done.triggered else (yield wr.done)
-            if not unpack_footer(data).consumable:
+            if not footer_consumable(data):
                 return
             yield self.env.timeout(
                 _FULL_RING_BACKOFF * (1.0 + self._rng.random()))

@@ -239,3 +239,131 @@ def test_latency_flow_ignores_segment_size():
     cluster.run()
     # 32 segments x (16-byte tuple + 16-byte footer)
     assert target.memory_bytes == 32 * (16 + 16)
+
+# -- batch-fold specialization -------------------------------------------
+
+def _run_combiner_via(op, rows_per_source, consume, sources=3):
+    """Like run_combiner but with a pluggable target consume loop."""
+    cluster = Cluster(node_count=sources + 1)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "agg", sources=[f"node{i + 1}|0" for i in range(sources)],
+        target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec(op=op, group_by="group", value="value"))
+    result = {}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("agg", index)
+        for row in rows_per_source(index):
+            yield from source.push(row)
+        yield from source.close()
+
+    def target_thread():
+        target = yield from dfi.open_target("agg")
+        yield from consume(target)
+        result["aggregates"] = dict(target.aggregates)
+        result["count"] = target.tuples_aggregated
+
+    for s in range(sources):
+        cluster.env.process(source_thread(s))
+    cluster.env.process(target_thread())
+    cluster.run()
+    return result
+
+
+def _via_all(target):
+    yield from target.consume_all()
+
+
+def _via_step(target):
+    while True:
+        step = yield from target.consume_step()
+        if step is FLOW_END:
+            return
+        assert step >= 1  # a step always folds at least one tuple
+
+
+ROWS = [(3, 14), (1, -5), (3, 2), (2, 0), (1, 7), (2, -9), (3, 14)]
+
+
+@pytest.mark.parametrize("op", ["sum", "count", "min", "max"])
+def test_consume_all_matches_consume_step(op):
+    """The two consume loops share the batch fold: identical tables and
+    identical tuple counts for every aggregate op."""
+    rows = lambda i: [(g, v + i) for g, v in ROWS]  # noqa: E731
+    via_all = _run_combiner_via(op, rows, _via_all)
+    via_step = _run_combiner_via(op, rows, _via_step)
+    assert via_all == via_step
+    assert via_all["count"] == 3 * len(ROWS)
+
+
+@pytest.mark.parametrize("op", ["sum", "count", "min", "max"])
+def test_batch_fold_matches_per_tuple_fold(op):
+    """The operator-specialized batch fold is a pure wall-clock rewrite
+    of ``_fold_in``: same batch, same aggregate table."""
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "agg", sources=["node1|0"], target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec(op=op, group_by="group", value="value"))
+    captured = {}
+
+    def open_only():
+        captured["target"] = yield from dfi.open_target("agg")
+
+    cluster.env.process(open_only())
+    cluster.run()
+    target = captured["target"]
+    batch = [(g, v) for g, v in ROWS * 3] + [(9, -100), (9, 100)]
+
+    reference: dict = {}
+    target._aggregates = reference  # _fold_in reads self._aggregates
+    for values in batch:
+        target._fold_in(values)
+
+    specialized = {}
+    target._aggregates = specialized
+    fold_batch = target._build_batch_fold()  # rebind to the new table
+    fold_batch(batch)
+    assert specialized == reference
+
+
+def test_combiner_empty_flow():
+    """Sources that close without pushing yield an empty table."""
+    for consume in (_via_all, _via_step):
+        result = _run_combiner_via("sum", lambda i: [], consume)
+        assert result == {"aggregates": {}, "count": 0}
+
+
+def test_combiner_abort_surfaces_from_consume_all():
+    from repro.common.errors import FlowAbortedError
+
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    dfi.init_combiner_flow(
+        "agg", sources=["node1|0"], target="node0|0", schema=SCHEMA,
+        aggregation=AggregationSpec(op="sum", group_by="group",
+                                    value="value"))
+    outcome = {}
+
+    def source_thread():
+        source = yield from dfi.open_source("agg", 0)
+        for i in range(10):
+            yield from source.push((0, 1))
+        yield from source.abort()
+
+    def target_thread():
+        target = yield from dfi.open_target("agg")
+        try:
+            yield from target.consume_all()
+        except FlowAbortedError:
+            outcome["aborted"] = True
+            outcome["partial"] = target.tuples_aggregated
+
+    cluster.env.process(source_thread())
+    cluster.env.process(target_thread())
+    cluster.run()
+    assert outcome["aborted"]
+    # Tuples folded before the abort marker stay folded (latency-mode
+    # buffered-before-abort contract holds transitively).
+    assert 0 <= outcome["partial"] <= 10
