@@ -11,6 +11,11 @@ Run with::
     PYTHONPATH=src python benchmarks/perf/fingerprint.py [output.json]
 
 and diff the JSON against a pre-change capture.
+
+``--check-fault-neutral`` runs the whole fingerprint twice — once bare,
+once with an *empty* ``FaultPlan`` installed on every cluster — and
+fails (exit 1) on any difference: the fault plane must be exactly free
+when no faults are scheduled.
 """
 
 from __future__ import annotations
@@ -112,8 +117,36 @@ def collect() -> dict:
     return fp
 
 
+def check_fault_neutral() -> int:
+    """Assert an empty fault plan leaves the fingerprint bit-identical."""
+    from repro.simnet import FaultPlan, faults
+
+    bare = collect()
+    faults.set_default_plan(FaultPlan())
+    try:
+        with_plane = collect()
+    finally:
+        faults.set_default_plan(None)
+
+    drifted = [key for key in bare
+               if bare[key] != with_plane.get(key)]
+    if drifted:
+        print("FAULT-NEUTRALITY VIOLATION: empty fault plane moved "
+              "simulated metrics:")
+        for key in drifted:
+            print(f"  {key}: bare={bare[key]!r} "
+                  f"with-plane={with_plane.get(key)!r}")
+        return 1
+    print(f"fault-neutral: {len(bare)} metrics bit-identical with an "
+          f"empty fault plane installed")
+    return 0
+
+
 def main() -> None:
-    output = sys.argv[1] if len(sys.argv) > 1 else None
+    args = sys.argv[1:]
+    if "--check-fault-neutral" in args:
+        sys.exit(check_fault_neutral())
+    output = args[0] if args else None
     fp = collect()
     for key, value in fp.items():
         print(f"{key}: {value!r}")

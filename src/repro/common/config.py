@@ -61,9 +61,9 @@ class HardwareProfile:
             raise ConfigurationError("link_bandwidth must be positive")
         if self.wire_latency < 0:
             raise ConfigurationError("wire_latency must be non-negative")
-        if not 0.0 <= self.multicast_loss_probability < 1.0:
+        if not 0.0 <= self.multicast_loss_probability <= 1.0:
             raise ConfigurationError(
-                "multicast_loss_probability must be in [0, 1)")
+                "multicast_loss_probability must be in [0, 1]")
         for node, scale in self.cpu_frequency_scale.items():
             if scale <= 0:
                 raise ConfigurationError(

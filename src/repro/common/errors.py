@@ -31,6 +31,13 @@ class QpStateError(RdmaError):
     """Operation not valid in the queue pair's current state."""
 
 
+class QpFlushedError(RdmaError):
+    """A posted work request completed in error: the transport gave up on
+    the peer (RC retry budget exceeded — the peer crashed, or the path
+    stayed down beyond the detection bound). The matching completion-queue
+    entry carries ``WcStatus.RETRY_EXC_ERR`` / ``WcStatus.WR_FLUSH_ERR``."""
+
+
 class FlowError(ReproError):
     """Errors raised by the DFI flow layer."""
 
@@ -42,6 +49,21 @@ class FlowClosedError(FlowError):
 class FlowAbortedError(FlowError):
     """A source aborted the flow; raised from the targets' consume path
     (the fault-tolerance extension — paper Section 7 future work)."""
+
+
+class FlowTimeoutError(FlowError):
+    """A blocking flow operation made no progress within its configured
+    bound (``FlowOptions.peer_timeout`` on the consume side,
+    ``FlowOptions.max_backoff_retries`` on the ring-full push side) and
+    the peer is not *known* to have failed — the peer may merely be slow
+    or stalled. Compare :class:`FlowPeerFailedError`."""
+
+
+class FlowPeerFailedError(FlowError):
+    """A flow peer (source or target endpoint) is gone: its node crashed
+    or the path to it stayed unreachable beyond the failure-detection
+    bound. Raised from push/close on the source side (per the flow's
+    ``on_target_failure`` policy) and from consume on the target side."""
 
 
 class SchemaError(FlowError):

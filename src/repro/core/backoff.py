@@ -1,0 +1,26 @@
+"""Shared ring-full backoff policy for flow writers and channels.
+
+Exponential backoff with jitter: retry round ``attempt`` sleeps
+``BASE * 2**min(attempt, MAX_EXPONENT) * (1 + U[0, 1))`` nanoseconds.
+The jitter draw comes from the caller's RNG; flow code passes the
+*per-node* deterministic stream (``Node.backoff_rng``), so two identical
+runs schedule bit-identical backoff events no matter how many channels
+on the node share the stream — the draws interleave in event order,
+which the kernel makes deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: First-round backoff delay (ns) when a remote ring polls full.
+FULL_RING_BACKOFF_BASE = 400.0
+#: Cap the exponential at BASE * 2**_MAX_EXPONENT (25.6 us): beyond that,
+#: longer sleeps only delay failure detection without relieving pressure.
+_MAX_EXPONENT = 6
+
+
+def full_ring_backoff(rng: random.Random, attempt: int) -> float:
+    """Delay (ns) to sleep before re-polling a full remote ring."""
+    return (FULL_RING_BACKOFF_BASE * (1 << min(attempt, _MAX_EXPONENT))
+            * (1.0 + rng.random()))

@@ -71,6 +71,26 @@ class FlowOptions:
     #: at the target — the future-work extension of paper Sections 4.2.3
     #: and 6.1.3, lifting the target-in-link bandwidth cap of Fig. 9.
     in_network_aggregation: bool = False
+    #: Failure detection bound (ns): a push or consume that makes no
+    #: progress for this long consults the fault plane and raises
+    #: :class:`~repro.common.errors.FlowPeerFailedError` (peer known dead)
+    #: or :class:`~repro.common.errors.FlowTimeoutError`. ``None`` (the
+    #: default) waits forever — the pre-fault-plane behaviour.
+    peer_timeout: "float | None" = None
+    #: Ring-full backoff rounds before a writer gives up with
+    #: :class:`~repro.common.errors.FlowTimeoutError`. ``None`` retries
+    #: forever.
+    max_backoff_retries: "int | None" = None
+    #: Multicast replicate: consecutive credit-stalled retransmission
+    #: rounds tolerated before the stalled target counts as failed.
+    #: ``None`` retries forever.
+    max_retransmits: "int | None" = None
+    #: Shuffle sources, when a target fails mid-flow: ``"abort"`` tears
+    #: the whole flow down (surviving targets see an abort marker, the
+    #: push raises FlowPeerFailedError); ``"reroute"`` re-hashes the
+    #: failed target's share onto the survivors (requires a hash/routing
+    #: key — round-robin and key-routed flows only).
+    on_target_failure: str = "abort"
 
     def __post_init__(self) -> None:
         if self.segment_size <= 0:
@@ -82,6 +102,16 @@ class FlowOptions:
                 "credit_threshold must be in (0, target_segments]")
         if self.retransmit_timeout <= 0:
             raise ConfigurationError("retransmit_timeout must be positive")
+        if self.peer_timeout is not None and self.peer_timeout <= 0:
+            raise ConfigurationError("peer_timeout must be positive")
+        if (self.max_backoff_retries is not None
+                and self.max_backoff_retries < 1):
+            raise ConfigurationError("max_backoff_retries must be >= 1")
+        if self.max_retransmits is not None and self.max_retransmits < 1:
+            raise ConfigurationError("max_retransmits must be >= 1")
+        if self.on_target_failure not in ("abort", "reroute"):
+            raise ConfigurationError(
+                "on_target_failure must be 'abort' or 'reroute'")
 
 
 @dataclass(frozen=True)

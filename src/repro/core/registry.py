@@ -63,6 +63,7 @@ class FlowRegistry:
         self._backchannel_signals: dict[tuple[str, int, int], Signal] = {}
         self._ready_targets: dict[str, set[int]] = {}
         self._ready_signals: dict[str, Signal] = {}
+        self._aborted: set[str] = set()
 
     # -- flow lifecycle -----------------------------------------------------
     def initialize_flow(self, descriptor: FlowDescriptor) -> FlowDescriptor:
@@ -123,6 +124,18 @@ class FlowRegistry:
             descriptor, targets=(*descriptor.targets, new_endpoint))
         return len(descriptor.targets)
 
+    def mark_flow_aborted(self, name: str) -> None:
+        """Record that ``name`` was aborted. Targets opening *after* the
+        abort (e.g. one adopted by ``extend_targets`` racing an abort)
+        check this flag so they do not wait for ring traffic that will
+        never come."""
+        self.descriptor(name)  # validates the flow exists
+        self._aborted.add(name)
+
+    def flow_aborted(self, name: str) -> bool:
+        """True once any endpoint aborted flow ``name``."""
+        return name in self._aborted
+
     def flow_names(self) -> list[str]:
         return sorted(self._flows)
 
@@ -151,6 +164,13 @@ class FlowRegistry:
         if handle is None:
             handle = yield self._ring_signal(key).wait()
         return handle
+
+    def published_ring(self, name: str, source_index: int,
+                       target_index: int) -> "RingHandle | None":
+        """The channel's ring handle if already published, else ``None``
+        (never blocks — used by abort paths that must not wait on targets
+        that may never open)."""
+        return self._rings.get((name, source_index, target_index))
 
     # -- generic back-channel rendezvous (replicate credit/NACK paths) ------
     def publish_backchannel(self, name: str, source_index: int,

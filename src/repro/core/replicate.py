@@ -27,7 +27,14 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
-from repro.common.errors import FlowAbortedError, FlowClosedError, FlowError
+from repro.common.errors import (
+    FlowAbortedError,
+    FlowClosedError,
+    FlowError,
+    FlowPeerFailedError,
+    FlowTimeoutError,
+    QpFlushedError,
+)
 from repro.core.flowdef import (
     FLOW_END,
     FlowDescriptor,
@@ -213,6 +220,9 @@ class NaiveReplicateSource:
         self._latency = descriptor.optimization is Optimization.LATENCY
         self._cpu_debt = 0.0
         self._local_seq = 0
+        #: Writer indices declared failed (their targets are gone).
+        self._failed: set[int] = set()
+        self._aborting = False
         self.segments_sent = 0
         self.tuples_sent = 0
         self.closed = False
@@ -226,6 +236,7 @@ class NaiveReplicateSource:
         node = registry.cluster.node(
             descriptor.sources[source_index].node_id)
         latency = descriptor.optimization is Optimization.LATENCY
+        retries = descriptor.options.max_backoff_retries
         writers = []
         for target_index in range(descriptor.target_count):
             handle = yield from registry.wait_ring(name, source_index,
@@ -234,9 +245,11 @@ class NaiveReplicateSource:
             if latency:
                 writers.append(CreditRingWriter(
                     node, handle, tag,
-                    descriptor.options.credit_threshold))
+                    descriptor.options.credit_threshold,
+                    max_retries=retries))
             else:
-                writers.append(FooterRingWriter(node, handle, tag))
+                writers.append(FooterRingWriter(node, handle, tag,
+                                                max_retries=retries))
         sequencer = None
         if descriptor.ordering is Ordering.GLOBAL:
             sequencer = TupleSequencer(registry, name, node)
@@ -289,21 +302,34 @@ class NaiveReplicateSource:
             return
         work_requests = yield from self._flush(FLAG_CLOSED)
         self.closed = True
-        for wr in work_requests:
-            if not wr.done.triggered:
-                yield wr.done
+        failures = []
+        for index, wr in work_requests:
+            try:
+                if not wr.done.triggered:
+                    yield wr.done
+                elif wr.error is not None:
+                    raise wr.error
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                failures.append((index, exc))
+        for index, exc in failures:
+            yield from self._handle_writer_failure(index, exc)
 
     def abort(self):
         """Generator: abort the flow on every target (staged tuples are
         dropped; targets raise FlowAbortedError)."""
         if self.closed:
             return
+        self.registry.mark_flow_aborted(self.descriptor.name)
+        self._aborting = True
         self._staging.take()  # discard staged tuples
         work_requests = yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
         self.closed = True
-        for wr in work_requests:
-            if not wr.done.triggered:
-                yield wr.done
+        for _index, wr in work_requests:
+            try:
+                if not wr.done.triggered:
+                    yield wr.done
+            except (QpFlushedError, FlowTimeoutError):
+                pass  # abort is best-effort on a failing fabric
 
     def _flush(self, extra_flags: int):
         debt = (self._cpu_debt
@@ -318,12 +344,70 @@ class NaiveReplicateSource:
         payload = self._staging.take()
         flags = FLAG_CONSUMABLE | extra_flags
         work_requests = []
-        for writer in self._writers:
-            wr = yield from writer.write_segment(payload, flags, seq,
-                                                 self.source_index)
-            work_requests.append(wr)
+        failures = []
+        for index, writer in enumerate(self._writers):
+            if index in self._failed:
+                continue
+            try:
+                wr = yield from writer.write_segment(payload, flags, seq,
+                                                     self.source_index)
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                failures.append((index, exc))
+                continue
+            work_requests.append((index, wr))
         self.segments_sent += 1
+        for index, exc in failures:
+            yield from self._handle_writer_failure(index, exc)
         return work_requests
+
+    def _handle_writer_failure(self, index: int, exc: Exception):
+        """Generator: one target's writer failed. Replicate semantics
+        promise delivery to *all* targets, so under the default abort
+        policy any confirmed peer death voids the flow; the reroute
+        policy degrades to replicating to the survivors only."""
+        self._failed.add(index)
+        if self._aborting:
+            return
+        faults = self.node.cluster.faults
+        peer = self.registry.cluster.node(
+            self.descriptor.targets[index].node_id)
+        peer_dead = (isinstance(exc, QpFlushedError)
+                     or (faults is not None and faults.active
+                         and faults.peer_failed(self.node, peer)))
+        if not peer_dead:
+            # A stall without evidence of peer death (backoff budget
+            # exhausted against a live but wedged target) surfaces the
+            # original error unchanged.
+            raise exc
+        if (self.descriptor.options.on_target_failure == "reroute"
+                and len(self._failed) < len(self._writers)):
+            return  # keep replicating to the survivors
+        yield from self._abort_survivors()
+        raise FlowPeerFailedError(
+            f"target {index} of replicate flow {self.descriptor.name!r} "
+            f"failed: {exc}") from exc
+
+    def _abort_survivors(self):
+        """Generator: best-effort abort markers to the still-live targets
+        so they do not hang on a flow that will never close."""
+        self._aborting = True
+        self.registry.mark_flow_aborted(self.descriptor.name)
+        self._staging.take()
+        if not self.closed:
+            work_requests = yield from self._flush(
+                FLAG_CLOSED | FLAG_ABORTED)
+            for _index, wr in work_requests:
+                try:
+                    if not wr.done.triggered:
+                        yield wr.done
+                except (QpFlushedError, FlowTimeoutError):
+                    pass
+        self.closed = True
+
+    @property
+    def failed_targets(self) -> tuple:
+        """Indices of targets declared failed (sorted)."""
+        return tuple(sorted(self._failed))
 
     @property
     def memory_bytes(self) -> int:
@@ -421,6 +505,9 @@ class MulticastReplicateSource:
         self._cpu_debt = 0.0
         self._local_seq = 0
         self._close_slot: "bytes | None" = None
+        #: Target indices declared failed (excluded from flow control).
+        self._failed_targets: set[int] = set()
+        self._aborting = False
         self.segments_sent = 0
         self.tuples_sent = 0
         self.retransmissions = 0
@@ -454,9 +541,19 @@ class MulticastReplicateSource:
                    sequencer)
 
     # -- credit / NACK bookkeeping -----------------------------------------
+    def _live_targets(self) -> list:
+        return [t for t in range(self.descriptor.target_count)
+                if t not in self._failed_targets]
+
+    def _target_credit(self, target: int) -> int:
+        return self._control.read_u64(self._CONTROL_STRIDE * target)
+
     def _min_credit(self) -> int:
-        return min(self._control.read_u64(self._CONTROL_STRIDE * t)
-                   for t in range(self.descriptor.target_count))
+        live = self._live_targets()
+        if not live:
+            # Every target failed: nothing constrains the window anymore.
+            return self.segments_sent
+        return min(self._target_credit(t) for t in live)
 
     def _service_nacks(self) -> None:
         for target in range(self.descriptor.target_count):
@@ -488,6 +585,13 @@ class MulticastReplicateSource:
             # the application's gap agreement. A lost segment would
             # otherwise hole the credit count forever.
             return
+        if self._aborting:
+            # Abort markers go out even with the window shut: overwriting
+            # a receive ring slot is moot on a flow that is already void.
+            return
+        limit = self.descriptor.options.max_retransmits
+        stalled_rounds = 0
+        floor = self._min_credit()
         while self.segments_sent - self._min_credit() >= self._window:
             self._service_nacks()
             event = self._waiter.arm()
@@ -499,6 +603,44 @@ class MulticastReplicateSource:
                 self.env.timeout(self.descriptor.options.retransmit_timeout),
             ])
             self._waiter.disarm()
+            credit = self._min_credit()
+            if credit > floor:
+                floor = credit
+                stalled_rounds = 0
+            elif limit is not None:
+                stalled_rounds += 1
+                if stalled_rounds >= limit:
+                    yield from self._fail_stalled()
+                    stalled_rounds = 0
+                    floor = self._min_credit()
+
+    def _fail_stalled(self):
+        """Generator: the credit window stayed shut through the whole
+        retransmit budget — declare the lowest-credit targets failed.
+        The reroute policy drops them from flow control and carries on
+        with the survivors; the abort policy (default) voids the flow
+        and surfaces :class:`FlowPeerFailedError`."""
+        live = self._live_targets()
+        floor = min(self._target_credit(t) for t in live)
+        stalled = [t for t in live if self._target_credit(t) == floor]
+        self._failed_targets.update(stalled)
+        if (self.descriptor.options.on_target_failure == "reroute"
+                and len(stalled) < len(live)):
+            return
+        yield from self._abort_for_failure()
+        raise FlowPeerFailedError(
+            f"target(s) {stalled} of replicate flow "
+            f"{self.descriptor.name!r} made no progress through "
+            f"{self.descriptor.options.max_retransmits} retransmit rounds")
+
+    def _abort_for_failure(self):
+        """Generator: best-effort abort multicast before surfacing a
+        failure, so surviving targets do not hang on a half-closed flow."""
+        self._aborting = True
+        self.registry.mark_flow_aborted(self.descriptor.name)
+        self._staging.take()
+        yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
+        self.closed = True
 
     # -- push / close --------------------------------------------------------
     def push(self, values: tuple):
@@ -564,6 +706,9 @@ class MulticastReplicateSource:
             self.closed = True
             return
         total = self.segments_sent
+        limit = self.descriptor.options.max_retransmits
+        stalled_rounds = 0
+        floor = self._min_credit()
         resend_deadline = (self.env.now
                            + self.descriptor.options.retransmit_timeout)
         while self._min_credit() < total:
@@ -577,6 +722,17 @@ class MulticastReplicateSource:
                 self.env.timeout(self.descriptor.options.retransmit_timeout),
             ])
             self._waiter.disarm()
+            credit = self._min_credit()
+            if credit > floor:
+                floor = credit
+                stalled_rounds = 0
+            elif limit is not None:
+                stalled_rounds += 1
+                if stalled_rounds >= limit:
+                    yield from self._fail_stalled()
+                    stalled_rounds = 0
+                    floor = self._min_credit()
+                    continue
             if (self.env.now >= resend_deadline
                     and self._close_slot is not None):
                 # The close marker itself may have been lost; it is the only
@@ -595,6 +751,8 @@ class MulticastReplicateSource:
         survives an abort)."""
         if self.closed:
             return
+        self.registry.mark_flow_aborted(self.descriptor.name)
+        self._aborting = True
         self._staging.take()  # discard staged tuples
         yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
         abort_slot = self._retransmit[self.segments_sent - 1]
@@ -627,6 +785,11 @@ class MulticastReplicateSource:
         self._ud_qp.post_send_multicast(self._group, slot)
         self.segments_sent += 1
         self._service_nacks()
+
+    @property
+    def failed_targets(self) -> tuple:
+        """Indices of targets declared failed (sorted)."""
+        return tuple(sorted(self._failed_targets))
 
     @property
     def memory_bytes(self) -> int:
@@ -664,6 +827,7 @@ class MulticastReplicateTarget:
         self._gap_deadlines: dict = {}
         self._gap_pending: "GapNotification | None" = None
         self._aborted = False
+        self._peer_timeout = descriptor.options.peer_timeout
         self._waiter = _RingWriteWaiter(self.env, [ring_region])
         self.tuples_received = 0
 
@@ -811,11 +975,20 @@ class MulticastReplicateTarget:
     # -- consume ---------------------------------------------------------
     def consume(self):
         """Generator: next tuple, a :class:`GapNotification` (gap_notify
-        mode), or :data:`FLOW_END`."""
+        mode), or :data:`FLOW_END`.
+
+        With ``options.peer_timeout`` set, a wait that sees no receive
+        progress at all for that long consults the fault plane and raises
+        :class:`FlowPeerFailedError` (a source is known dead) or
+        :class:`FlowTimeoutError`; any arriving datagram restarts the
+        window."""
         if self._ready:
             return self._ready.popleft()
+        deadline = (None if self._peer_timeout is None
+                    else self.env.now + self._peer_timeout)
         while True:
             event = self._waiter.arm()
+            before = self._progress_mark()
             self._pump()
             if self._aborted:
                 self._waiter.disarm()
@@ -833,17 +1006,46 @@ class MulticastReplicateTarget:
             if self._finished():
                 self._waiter.disarm()
                 return FLOW_END
+            if deadline is not None:
+                if self._progress_mark() != before:
+                    deadline = self.env.now + self._peer_timeout
+                elif self.env.now >= deadline:
+                    self._waiter.disarm()
+                    self._raise_peer_failure()
+            waits = [event]
             if self._gap_deadlines:
-                yield self.env.any_of([
-                    event,
-                    self.env.timeout(
-                        self.descriptor.options.retransmit_timeout),
-                ])
-            else:
+                waits.append(self.env.timeout(
+                    self.descriptor.options.retransmit_timeout))
+            if deadline is not None:
+                waits.append(self.env.timeout(deadline - self.env.now))
+            if len(waits) == 1:
                 yield event
+            else:
+                yield self.env.any_of(waits)
             self._waiter.disarm()
             yield self.node.compute(
                 self.node.cluster.profile.cpu_poll_cost)
+
+    def _progress_mark(self) -> tuple:
+        """Cheap receive-progress stamp: changes whenever any datagram
+        was accepted (tuples, close markers, or credit-only segments)."""
+        return (self.tuples_received, self._closed_delivered,
+                sum(self._consumed))
+
+    def _raise_peer_failure(self):
+        faults = self.node.cluster.faults
+        if faults is not None and faults.active:
+            dead = [s for s in range(self.descriptor.source_count)
+                    if faults.peer_failed(
+                        self.node, self.registry.cluster.node(
+                            self.descriptor.sources[s].node_id))]
+            if dead:
+                raise FlowPeerFailedError(
+                    f"source(s) {dead} of flow {self.descriptor.name!r} "
+                    f"failed before closing the multicast stream")
+        raise FlowTimeoutError(
+            f"no multicast progress on flow {self.descriptor.name!r} "
+            f"within {self._peer_timeout} ns")
 
     def _finished(self) -> bool:
         if self._ready:

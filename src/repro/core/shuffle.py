@@ -24,8 +24,15 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING
 
-from repro.common.errors import FlowAbortedError, FlowClosedError, FlowError
-from repro.common.rand import derive_rng
+from repro.common.errors import (
+    FlowAbortedError,
+    FlowClosedError,
+    FlowError,
+    FlowPeerFailedError,
+    FlowTimeoutError,
+    QpFlushedError,
+)
+from repro.core.backoff import full_ring_backoff
 from repro.core.flowdef import (
     FLOW_END,
     FlowDescriptor,
@@ -49,10 +56,6 @@ from repro.rdma.nic import get_nic
 
 if TYPE_CHECKING:
     from repro.simnet.node import Node
-
-#: Base backoff (ns) when a remote ring is full (a jitter of the same
-#: magnitude is added, per the paper's "small random backoff").
-_FULL_RING_BACKOFF = 400.0
 
 
 def segment_payload_size(descriptor: FlowDescriptor) -> int:
@@ -136,7 +139,8 @@ class BandwidthSourceChannel:
         self._scratch = nic.register_memory(FOOTER_SIZE)
         self.remote = handle
         self._remote_slot = handle.segment_size + FOOTER_SIZE
-        self._rng = derive_rng(node.cluster.seed, "dfi-backoff", *channel_tag)
+        self._rng = node.backoff_rng
+        self._max_retries = descriptor.options.max_backoff_retries
         self._local_index = 0
         self._remote_index = 0
         self._used = 0
@@ -358,6 +362,7 @@ class BandwidthSourceChannel:
         self._pending_footer_read = None
         if wr is None:
             wr = self._read_current_remote_footer()
+        attempt = 0
         while True:
             if wr.done.triggered:
                 data = wr.done.value
@@ -365,9 +370,15 @@ class BandwidthSourceChannel:
                 data = yield wr.done
             if not footer_consumable(data):
                 return
-            # Remote ring full: back off briefly, then re-poll the footer.
-            yield self.env.timeout(
-                _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+            # Remote ring full: back off (exponential + jitter), then
+            # re-poll the footer.
+            if (self._max_retries is not None
+                    and attempt >= self._max_retries):
+                raise FlowTimeoutError(
+                    f"remote ring on node {self.remote.node_id} still "
+                    f"full after {attempt} backoff rounds")
+            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            attempt += 1
             wr = self._read_current_remote_footer()
 
     def _read_current_remote_footer(self):
@@ -402,7 +413,8 @@ class LatencySourceChannel:
         self._slot_size = self.segment_payload + FOOTER_SIZE
         self._staging = bytearray(handle.segment_count * self._slot_size)
         self._staging_view = memoryview(self._staging)
-        self._rng = derive_rng(node.cluster.seed, "dfi-backoff", *channel_tag)
+        self._rng = node.backoff_rng
+        self._max_retries = descriptor.options.max_backoff_retries
         self._threshold = descriptor.options.credit_threshold
         self._sent = 0
         self._cached_consumed = 0
@@ -543,6 +555,7 @@ class LatencySourceChannel:
         if pending is not None and pending.done.triggered:
             self._apply_credit(pending.done.value)
             self._pending_credit_read = None
+        attempt = 0
         while self._available_credits <= 0:
             if self._pending_credit_read is None:
                 self._refresh_credit_async()
@@ -550,8 +563,14 @@ class LatencySourceChannel:
             self._pending_credit_read = None
             self._apply_credit(data)
             if self._available_credits <= 0:
+                if (self._max_retries is not None
+                        and attempt >= self._max_retries):
+                    raise FlowTimeoutError(
+                        f"no credit from node {self.remote.node_id} "
+                        f"after {attempt} backoff rounds")
                 yield self.env.timeout(
-                    _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+                    full_ring_backoff(self._rng, attempt))
+                attempt += 1
 
     def _apply_credit(self, data: bytes) -> None:
         consumed = int.from_bytes(data, "little")
@@ -761,6 +780,12 @@ class ShuffleSource:
         else:
             self._router = None  # direct routing only
         self.closed = False
+        #: Failure policy (``FlowOptions.on_target_failure``).
+        self._policy = descriptor.options.on_target_failure
+        #: Channel indices still routable (failed targets drop out).
+        self._live = list(range(len(channels)))
+        #: Channel indices declared failed.
+        self._failed: set[int] = set()
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str, source_index: int):
@@ -797,17 +822,38 @@ class ShuffleSource:
         """
         if self.closed:
             raise FlowClosedError("push on a closed flow source")
-        if target is None:
+        explicit = target is not None
+        if explicit:
+            if not 0 <= target < len(self._channels):
+                raise FlowError(
+                    f"routed to target {target}, valid range "
+                    f"[0, {len(self._channels)})")
+            if target in self._failed:
+                raise FlowPeerFailedError(
+                    f"target {target} of flow {self.descriptor.name!r} "
+                    f"has failed")
+        else:
             if self._router is None:
                 raise FlowError(
                     "flow has no shuffle key or routing function; pass "
                     "target= explicitly")
-            target = self._router(values, len(self._channels))
-        if not 0 <= target < len(self._channels):
-            raise FlowError(
-                f"routed to target {target}, valid range "
-                f"[0, {len(self._channels)})")
-        yield from self._channels[target].push(values)
+            live = self._live
+            if not live:
+                raise FlowPeerFailedError(
+                    f"every target of flow {self.descriptor.name!r} has "
+                    f"failed")
+            target = live[self._router(values, len(live))]
+        try:
+            yield from self._channels[target].push(values)
+        except (QpFlushedError, FlowTimeoutError) as exc:
+            yield from self._handle_channel_failure(target, exc)
+            if explicit:
+                raise FlowPeerFailedError(
+                    f"target {target} of flow {self.descriptor.name!r} "
+                    f"failed ({exc})") from exc
+            # Reroute policy: the survivors absorb the key space — resend
+            # this tuple through the shrunken live set.
+            yield from self.push(values)
 
     def push_many(self, tuples, target: "int | None" = None):
         """Generator: push a batch of tuples (convenience wrapper).
@@ -837,17 +883,36 @@ class ShuffleSource:
                 raise FlowError(
                     f"routed to target {target}, valid range "
                     f"[0, {len(channels)})")
-            yield from channels[target].push_batch(tuples)
+            if target in self._failed:
+                raise FlowPeerFailedError(
+                    f"target {target} of flow {self.descriptor.name!r} "
+                    f"has failed")
+            try:
+                yield from channels[target].push_batch(tuples)
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                yield from self._handle_channel_failure(target, exc)
+                raise FlowPeerFailedError(
+                    f"target {target} of flow {self.descriptor.name!r} "
+                    f"failed ({exc})") from exc
             return
-        if len(channels) == 1:
-            yield from channels[0].push_batch(tuples)
+        live = self._live
+        if not live:
+            raise FlowPeerFailedError(
+                f"every target of flow {self.descriptor.name!r} has failed")
+        if len(live) == 1:
+            index = live[0]
+            try:
+                yield from channels[index].push_batch(tuples)
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                yield from self._handle_channel_failure(index, exc)
+                yield from self.push_batch(tuples)
             return
         if self._router is None:
             raise FlowError(
                 "flow has no shuffle key or routing function; pass "
                 "target= explicitly")
         router = self._router
-        count = len(channels)
+        count = len(live)
         route_many = getattr(router, "route_many", None)
         if route_many is not None:
             groups = route_many(tuples, count)
@@ -856,9 +921,23 @@ class ShuffleSource:
             appends = [group.append for group in groups]
             for values in tuples:
                 appends[router(values, count)](values)
-        for index, group in enumerate(groups):
+        for slot, group in enumerate(groups):
             if group:
-                yield from channels[index].push_batch(group)
+                index = live[slot]
+                try:
+                    yield from channels[index].push_batch(group)
+                except (QpFlushedError, FlowTimeoutError) as exc:
+                    yield from self._handle_channel_failure(index, exc)
+                    # The live set just shrank, so the remaining groups'
+                    # slots no longer line up — re-partition the failed
+                    # group plus everything not yet pushed over the
+                    # survivors. Tuples the dead target already consumed
+                    # may recur on a survivor: reroute is at-least-once
+                    # across a failure.
+                    remaining = [values for rest in groups[slot:]
+                                 for values in rest]
+                    yield from self.push_batch(remaining)
+                    return
 
     def push_bytes(self, data, target: "int | None" = None):
         """Generator: push pre-packed tuple bytes (zero per-tuple packing).
@@ -878,29 +957,80 @@ class ShuffleSource:
             raise FlowError(
                 f"routed to target {target}, valid range "
                 f"[0, {len(self._channels)})")
-        yield from self._channels[target].push_bytes(data)
+        if target in self._failed:
+            raise FlowPeerFailedError(
+                f"target {target} of flow {self.descriptor.name!r} has "
+                f"failed")
+        try:
+            yield from self._channels[target].push_bytes(data)
+        except (QpFlushedError, FlowTimeoutError) as exc:
+            yield from self._handle_channel_failure(target, exc)
+            # Packed bytes carry no routable key, so there is no reroute:
+            # the failure always surfaces.
+            raise FlowPeerFailedError(
+                f"target {target} of flow {self.descriptor.name!r} "
+                f"failed ({exc})") from exc
 
     def close(self):
-        """Generator: close every channel (targets see FLOW_END once all
-        sources have closed). Close markers are posted to all channels
-        first, then acknowledged in parallel."""
+        """Generator: close every live channel (targets see FLOW_END once
+        all sources have closed). Close markers are posted to all channels
+        first, then acknowledged in parallel. A target failing during
+        close follows the flow's failure policy: under ``"reroute"`` the
+        close still succeeds on the survivors, under ``"abort"`` the
+        survivors are aborted and FlowPeerFailedError is raised."""
         work_requests = []
-        for channel in self._channels:
-            wr = yield from channel.begin_close()
+        failures = []
+        for index, channel in enumerate(self._channels):
+            try:
+                wr = yield from channel.begin_close()
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                failures.append((index, exc))
+                continue
             if wr is not None:
-                work_requests.append(wr)
-        for wr in work_requests:
-            if not wr.done.triggered:
-                yield wr.done
+                work_requests.append((index, wr))
+        for index, wr in work_requests:
+            try:
+                if not wr.done.triggered:
+                    yield wr.done
+                elif wr.error is not None:
+                    raise wr.error
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                failures.append((index, exc))
         self.closed = True
+        for index, exc in failures:
+            yield from self._handle_channel_failure(index, exc)
 
     def abort(self):
         """Generator: abort the flow — staged data is dropped and every
         target's consume raises FlowAbortedError (the fault-tolerance
         extension; paper Section 7 lists flow fault tolerance as future
-        work)."""
-        for channel in self._channels:
-            yield from channel.abort()
+        work).
+
+        The abort is recorded in the registry *before* any marker goes
+        out: a target opening afterwards (e.g. one racing
+        ``extend_targets``) sees the flag instead of waiting for ring
+        traffic that will never come. Published-but-unadopted rings of
+        such targets get the abort marker here too."""
+        name = self.descriptor.name
+        self.registry.mark_flow_aborted(name)
+        descriptor = self.registry.descriptor(name)
+        channels = list(self._channels)
+        latency = descriptor.optimization is Optimization.LATENCY
+        channel_cls = (LatencySourceChannel if latency
+                       else BandwidthSourceChannel)
+        for target_index in range(len(self._channels),
+                                  descriptor.target_count):
+            handle = self.registry.published_ring(name, self.source_index,
+                                                  target_index)
+            if handle is not None:
+                tag = (name, self.source_index, target_index)
+                channels.append(
+                    channel_cls(self.node, descriptor, handle, tag))
+        for channel in channels:
+            try:
+                yield from channel.abort()
+            except (QpFlushedError, FlowTimeoutError):
+                pass  # aborting toward a dead peer: nothing left to void
         self.closed = True
 
     def adopt_new_targets(self):
@@ -908,6 +1038,9 @@ class ShuffleSource:
         (elasticity — paper Section 7 future work). New channels are
         opened for every target index beyond the currently known set;
         the router immediately includes them in its fan-out."""
+        if self.registry.flow_aborted(self.descriptor.name):
+            raise FlowAbortedError(
+                f"flow {self.descriptor.name!r} was aborted")
         descriptor = self.registry.descriptor(self.descriptor.name)
         latency = descriptor.optimization is Optimization.LATENCY
         channel_cls = (LatencySourceChannel if latency
@@ -919,6 +1052,7 @@ class ShuffleSource:
             tag = (descriptor.name, self.source_index, target_index)
             self._channels.append(
                 channel_cls(self.node, descriptor, handle, tag))
+            self._live.append(len(self._channels) - 1)
         self.descriptor = descriptor
 
     def retire_target(self, target_index: int):
@@ -933,7 +1067,65 @@ class ShuffleSource:
             raise FlowError("cannot retire the only target; close the "
                             "flow instead")
         channel = self._channels.pop()
-        yield from channel.close()
+        index = len(self._channels)
+        if index in self._live:
+            self._live.remove(index)
+        self._failed.discard(index)
+        try:
+            yield from channel.close()
+        except (QpFlushedError, FlowTimeoutError):
+            pass  # the retired target is already gone; nothing to close
+
+    # -- failure policy ----------------------------------------------------
+    def _handle_channel_failure(self, index: int, exc: Exception):
+        """Generator: apply the flow's failure policy after channel
+        ``index`` hit a transport flush or exhausted its retry budget.
+
+        Returns normally only when the reroute policy can absorb the
+        failure; otherwise raises (FlowTimeoutError for a stall whose
+        peer is not known dead, FlowPeerFailedError after aborting the
+        survivors under the abort policy)."""
+        channel = self._channels[index]
+        channel.closed = True  # no further traffic toward the dead ring
+        if index not in self._failed:
+            self._failed.add(index)
+            if index in self._live:
+                self._live.remove(index)
+        faults = self.node.cluster.faults
+        peer = self.registry.cluster.node(
+            self.descriptor.targets[index].node_id)
+        peer_dead = (isinstance(exc, QpFlushedError)
+                     or (faults is not None and faults.active
+                         and faults.peer_failed(self.node, peer)))
+        if not peer_dead:
+            # A stall, not a detected failure (e.g. a slow consumer ran
+            # the retry budget out): surface the timeout unchanged.
+            raise exc
+        if (self._policy == "reroute" and self._router is not None
+                and self._live):
+            return  # the survivors absorb the failed target's share
+        yield from self._abort_survivors()
+        raise FlowPeerFailedError(
+            f"target {index} of flow {self.descriptor.name!r} failed "
+            f"({exc})") from exc
+
+    def _abort_survivors(self):
+        """Generator: best-effort abort of every remaining live channel
+        (the abort-policy teardown — some survivors may be dead too)."""
+        self.registry.mark_flow_aborted(self.descriptor.name)
+        for index in list(self._live):
+            channel = self._channels[index]
+            try:
+                yield from channel.abort()
+            except (QpFlushedError, FlowTimeoutError):
+                pass  # that target is gone as well
+        self._live.clear()
+        self.closed = True
+
+    @property
+    def failed_targets(self) -> tuple:
+        """Indices of targets this source has declared failed."""
+        return tuple(sorted(self._failed))
 
     # -- introspection -----------------------------------------------------
     @property
@@ -976,7 +1168,11 @@ class ShuffleTarget:
         # region's single-hook fast path.
         self._dirty: dict = dict.fromkeys(range(len(channels)))
         self._wake_event = None
-        self._abort_seen = False
+        # A flow aborted before this target opened (abort racing
+        # extend_targets): surface the abort instead of waiting for ring
+        # traffic that will never come.
+        self._abort_seen = registry.flow_aborted(descriptor.name)
+        self._peer_timeout = descriptor.options.peer_timeout
         self._env = self.node.env
         for index, channel in enumerate(channels):
             channel.ring.region.add_write_hook(
@@ -1003,6 +1199,42 @@ class ShuffleTarget:
 
     def _disarm(self) -> None:
         self._wake_event = None
+
+    def _bounded_wait(self, wait_event):
+        """Generator: block on the armed doorbell. With ``peer_timeout``
+        unset this is a plain wait (the pre-fault-plane event pattern,
+        bit-for-bit). With it set, the wait is bounded: a doorbell that
+        stays silent past the bound raises FlowPeerFailedError (a pending
+        peer is known dead) or FlowTimeoutError (pure stall). Progress
+        resets the bound naturally — every wait starts a fresh window."""
+        if self._peer_timeout is None:
+            yield wait_event
+            return
+        timer = self._env.timeout(self._peer_timeout)
+        yield self._env.any_of([wait_event, timer])
+        if not wait_event.triggered:
+            self._disarm()
+            self._raise_peer_failure()
+
+    def _raise_peer_failure(self):
+        """No progress within the detection bound: classify and raise."""
+        pending = [index for index, channel in enumerate(self._channels)
+                   if not channel.done]
+        faults = self.node.cluster.faults
+        if faults is not None and faults.active:
+            dead = []
+            for index in pending:
+                peer = self.registry.cluster.node(
+                    self.descriptor.sources[index].node_id)
+                if faults.peer_failed(self.node, peer):
+                    dead.append(index)
+            if dead:
+                raise FlowPeerFailedError(
+                    f"flow {self.descriptor.name!r}: source(s) {dead} "
+                    f"failed before closing their channels")
+        raise FlowTimeoutError(
+            f"flow {self.descriptor.name!r}: no segment arrived within "
+            f"{self._peer_timeout:.0f} ns; channels {pending} still open")
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str,
@@ -1070,7 +1302,7 @@ class ShuffleTarget:
                 # Close markers or empty segments arrived; rescan.
                 self._disarm()
                 continue
-            yield wait_event
+            yield from self._bounded_wait(wait_event)
             self._disarm()
             yield self.node.compute(
                 self.node.cluster.profile.cpu_poll_cost)
@@ -1124,7 +1356,7 @@ class ShuffleTarget:
             if progressed:
                 self._disarm()
                 continue
-            yield wait_event
+            yield from self._bounded_wait(wait_event)
             self._disarm()
             yield self.node.compute(
                 self.node.cluster.profile.cpu_poll_cost)
@@ -1173,7 +1405,7 @@ class ShuffleTarget:
             if progressed:
                 self._disarm()
                 continue
-            yield wait_event
+            yield from self._bounded_wait(wait_event)
             self._disarm()
             yield self.node.compute(
                 self.node.cluster.profile.cpu_poll_cost)

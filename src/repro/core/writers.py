@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.common.rand import derive_rng
+from repro.common.errors import FlowTimeoutError
+from repro.core.backoff import full_ring_backoff
 from repro.core.registry import RingHandle
 from repro.core.segment import (
     FOOTER_SIZE,
@@ -27,14 +28,13 @@ from repro.rdma.nic import get_nic
 if TYPE_CHECKING:
     from repro.simnet.node import Node
 
-_FULL_RING_BACKOFF = 400.0
-
 
 class FooterRingWriter:
     """Writes whole segment slots to a remote ring, footer-synchronized."""
 
     def __init__(self, node: "Node", handle: RingHandle,
-                 tag: tuple, signal_interval: int = 16) -> None:
+                 tag: tuple, signal_interval: int = 16,
+                 max_retries: "int | None" = None) -> None:
         self.node = node
         self.env = node.env
         nic = get_nic(node)
@@ -42,7 +42,8 @@ class FooterRingWriter:
         self._scratch = nic.register_memory(FOOTER_SIZE)
         self.handle = handle
         self.slot_size = handle.segment_size + FOOTER_SIZE
-        self._rng = derive_rng(node.cluster.seed, "writer-backoff", *tag)
+        self._rng = node.backoff_rng
+        self._max_retries = max_retries
         self._remote_index = 0
         self._pending_read = None
         self._signal_interval = signal_interval
@@ -101,12 +102,18 @@ class FooterRingWriter:
         self._pending_read = None
         if wr is None:
             wr = self._read_footer()
+        attempt = 0
         while True:
             data = wr.done.value if wr.done.triggered else (yield wr.done)
             if not footer_consumable(data):
                 return
-            yield self.env.timeout(
-                _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+            if (self._max_retries is not None
+                    and attempt >= self._max_retries):
+                raise FlowTimeoutError(
+                    f"remote ring on node {self.handle.node_id} still "
+                    f"full after {attempt} backoff rounds")
+            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            attempt += 1
             wr = self._read_footer()
 
     def _read_footer(self):
@@ -120,7 +127,8 @@ class CreditRingWriter:
     """Writes segment slots to a remote ring under credit flow control."""
 
     def __init__(self, node: "Node", handle: RingHandle, tag: tuple,
-                 credit_threshold: int) -> None:
+                 credit_threshold: int,
+                 max_retries: "int | None" = None) -> None:
         if handle.credit_rkey is None:
             raise ValueError("credit writer needs a credit counter handle")
         self.node = node
@@ -130,7 +138,8 @@ class CreditRingWriter:
         self._scratch = nic.register_memory(8)
         self.handle = handle
         self.slot_size = handle.segment_size + FOOTER_SIZE
-        self._rng = derive_rng(node.cluster.seed, "writer-backoff", *tag)
+        self._rng = node.backoff_rng
+        self._max_retries = max_retries
         self._threshold = credit_threshold
         self._sent = 0
         self._cached_consumed = 0
@@ -175,6 +184,7 @@ class CreditRingWriter:
         if pending is not None and pending.done.triggered:
             self._apply(pending.done.value)
             self._pending_read = None
+        attempt = 0
         while self._available <= 0:
             if self._pending_read is None:
                 self._refresh_async()
@@ -182,8 +192,14 @@ class CreditRingWriter:
             self._pending_read = None
             self._apply(data)
             if self._available <= 0:
+                if (self._max_retries is not None
+                        and attempt >= self._max_retries):
+                    raise FlowTimeoutError(
+                        f"no credit from node {self.handle.node_id} "
+                        f"after {attempt} backoff rounds")
                 yield self.env.timeout(
-                    _FULL_RING_BACKOFF * (1.0 + self._rng.random()))
+                    full_ring_backoff(self._rng, attempt))
+                attempt += 1
 
     def _apply(self, data: bytes) -> None:
         consumed = int.from_bytes(data, "little")

@@ -26,6 +26,13 @@ class WcStatus(enum.Enum):
 
     SUCCESS = "success"
     ERROR = "error"
+    #: Transport retry budget exceeded: the peer never acknowledged
+    #: (crashed peer or a path down beyond the detection bound) —
+    #: ``IBV_WC_RETRY_EXC_ERR``.
+    RETRY_EXC_ERR = "retry_exc_err"
+    #: Work request flushed after the QP entered the error state (the
+    #: peer died while the operation was in flight) — ``IBV_WC_WR_FLUSH_ERR``.
+    WR_FLUSH_ERR = "wr_flush_err"
 
 
 @dataclass(slots=True)
@@ -55,7 +62,7 @@ class WorkRequest:
     """
 
     __slots__ = ("wr_id", "opcode", "signaled", "_env", "_done",
-                 "_completed", "_result")
+                 "_completed", "_result", "_error")
 
     def __init__(self, env: Environment, wr_id: Any, opcode: Opcode,
                  signaled: bool) -> None:
@@ -66,6 +73,7 @@ class WorkRequest:
         self._done: Event | None = None
         self._completed = False
         self._result: Any = None
+        self._error: BaseException | None = None
 
     @property
     def done(self) -> Event:
@@ -74,8 +82,17 @@ class WorkRequest:
         if event is None:
             event = self._done = Event(self._env)
             if self._completed:
-                event.succeed(self._result)
+                if self._error is not None:
+                    event.fail(self._error)
+                    event.defuse()
+                else:
+                    event.succeed(self._result)
         return event
+
+    @property
+    def error(self) -> "BaseException | None":
+        """The failure this work request completed with, if any."""
+        return self._error
 
     def _complete(self, result: Any = None) -> None:
         """Record completion, triggering ``done`` only if someone looked."""
@@ -83,6 +100,16 @@ class WorkRequest:
         self._result = result
         if self._done is not None:
             self._done.succeed(result)
+
+    def _fail(self, error: BaseException) -> None:
+        """Record an error completion. ``done`` fails (pre-defused: a
+        process yielding it sees the exception thrown in; the kernel
+        never re-raises it for fire-and-forget requests nobody awaits)."""
+        self._completed = True
+        self._error = error
+        if self._done is not None:
+            self._done.fail(error)
+            self._done.defuse()
 
     def __repr__(self) -> str:
         state = "done" if self._completed else "pending"

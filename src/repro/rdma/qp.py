@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any
 
-from repro.common.errors import RdmaError
+from repro.common.errors import QpFlushedError, RdmaError
 from repro.rdma.completion import Completion, CompletionQueue, Opcode, WcStatus, WorkRequest
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import RNic, get_nic
@@ -94,6 +94,39 @@ class QueuePair:
     def _fabric(self):
         return self.node.cluster.fabric
 
+    def _faults(self):
+        """The installed fault plane, or ``None`` when absent/empty (the
+        empty-plane case short-circuits here so fault-free runs keep the
+        exact event pattern of a build without the fault plane)."""
+        faults = self.node.cluster.faults
+        if faults is None or not faults.active:
+            return None
+        return faults
+
+    def _flush_after(self, wr: WorkRequest, delay: float,
+                     status: WcStatus) -> None:
+        """Fail ``wr`` after ``delay`` ns with ``status``. The error
+        completion is pushed regardless of ``signaled`` — real verbs
+        report failed work requests even when unsignaled."""
+        timer = self.env.pooled_timeout(delay)
+
+        def on_timeout(_event, wr=wr, status=status):
+            wr._fail(QpFlushedError(
+                f"{wr.opcode.value} {self.node.name} -> "
+                f"{self.remote_node.name} flushed: {status.value}"))
+            self.send_cq.push(Completion(
+                wr_id=wr.wr_id, opcode=wr.opcode, status=status))
+
+        timer.callbacks.append(on_timeout)
+
+    def _flush_wr(self, opcode: Opcode, wr_id: Any, signaled: bool,
+                  faults, status: WcStatus = WcStatus.RETRY_EXC_ERR) -> WorkRequest:
+        """Create a work request destined to complete in error after the
+        transport's retry window: the peer is unreachable at post time."""
+        wr = WorkRequest(self.env, wr_id, opcode, signaled)
+        self._flush_after(wr, faults.detection_timeout, status)
+        return wr
+
     def _ack_latency(self) -> float:
         profile = self.nic.profile
         if self.remote_node is self.node:
@@ -107,6 +140,18 @@ class QueuePair:
         done_timer = self.env.pooled_timeout(delay)
 
         def on_done(_event, wr=wr, result=result, byte_len=byte_len):
+            faults = self._faults()
+            if faults is not None and not faults.node_alive(self.remote_node):
+                # The peer died while the operation was in flight: no ACK
+                # ever comes back, the QP enters the error state.
+                wr._fail(QpFlushedError(
+                    f"{wr.opcode.value} {self.node.name} -> "
+                    f"{self.remote_node.name} flushed: peer failed in "
+                    f"flight"))
+                self.send_cq.push(Completion(
+                    wr_id=wr.wr_id, opcode=wr.opcode,
+                    status=WcStatus.WR_FLUSH_ERR, byte_len=byte_len))
+                return
             wr._complete(result)
             if wr.signaled:
                 self.send_cq.push(Completion(
@@ -157,10 +202,18 @@ class QueuePair:
             pieces = [(0, chunk)]
         if not size:
             raise RdmaError("cannot post a zero-length write")
+        faults = self._faults()
+        if faults is not None:
+            admit = faults.rc_admission(self.node, self.remote_node)
+            if admit is None:
+                return self._flush_wr(Opcode.WRITE, wr_id, signaled, faults)
+            fault_delay = admit
+        else:
+            fault_delay = 0.0
         remote_region = get_nic(self.remote_node).region(remote_rkey)
         remote_region.check_range(remote_offset, size)
         inline = size <= self.nic.profile.max_inline_size
-        offset_delay = self.nic.engine_delay(inline)
+        offset_delay = self.nic.engine_delay(inline) + fault_delay
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
                                          delay=offset_delay)
@@ -187,6 +240,10 @@ class QueuePair:
 
             def commit_prefix(_event, region=remote_region,
                               base=remote_offset, parts=prefix_pieces):
+                faults = self._faults()
+                if (faults is not None
+                        and not faults.node_alive(self.remote_node)):
+                    return  # crashed memory accepts no more commits
                 for offset, chunk in parts:
                     region.write(base + offset, chunk)
 
@@ -194,6 +251,9 @@ class QueuePair:
 
         def commit_tail(_event, region=remote_region,
                         base=remote_offset, parts=tail_pieces):
+            faults = self._faults()
+            if faults is not None and not faults.node_alive(self.remote_node):
+                return  # crashed memory accepts no more commits
             for offset, chunk in parts:
                 region.write(base + offset, chunk)
 
@@ -215,16 +275,31 @@ class QueuePair:
         """
         if length <= 0:
             raise RdmaError("read length must be positive")
+        faults = self._faults()
+        fault_delay = 0.0
+        if faults is not None:
+            admit = faults.rc_admission(self.node, self.remote_node)
+            if admit is None:
+                return self._flush_wr(Opcode.READ, wr_id, signaled, faults)
+            fault_delay = admit
         remote_region = get_nic(self.remote_node).region(remote_rkey)
         remote_region.check_range(remote_offset, length)
         local_region.check_range(local_offset, length)
-        offset_delay = self.nic.engine_delay(inline=True)
+        offset_delay = self.nic.engine_delay(inline=True) + fault_delay
         wr = WorkRequest(self.env, wr_id, Opcode.READ, signaled)
         request = self._fabric().unicast(self.node, self.remote_node,
                                          _REQUEST_PACKET_SIZE,
                                          delay=offset_delay, control=True)
 
         def on_request_arrival(_event):
+            faults = self._faults()
+            if faults is not None and not faults.node_alive(self.remote_node):
+                # Peer crashed while the request packet was in flight: no
+                # response ever comes; the transport gives up after the
+                # detection bound.
+                self._flush_after(wr, faults.detection_timeout,
+                                  WcStatus.WR_FLUSH_ERR)
+                return
             data = remote_region.read(remote_offset, length)
             response = self._fabric().unicast(self.remote_node, self.node,
                                               length, control=True)
@@ -249,13 +324,25 @@ class QueuePair:
                      wr_id: Any) -> WorkRequest:
         remote_region = get_nic(self.remote_node).region(remote_rkey)
         remote_region.check_range(remote_offset, 8)
-        offset_delay = self.nic.engine_delay(inline=True)
+        faults = self._faults()
+        fault_delay = 0.0
+        if faults is not None:
+            admit = faults.rc_admission(self.node, self.remote_node)
+            if admit is None:
+                return self._flush_wr(opcode, wr_id, signaled, faults)
+            fault_delay = admit
+        offset_delay = self.nic.engine_delay(inline=True) + fault_delay
         wr = WorkRequest(self.env, wr_id, opcode, signaled)
         request = self._fabric().unicast(self.node, self.remote_node,
                                          _REQUEST_PACKET_SIZE,
                                          delay=offset_delay, control=True)
 
         def on_request_arrival(_event):
+            faults = self._faults()
+            if faults is not None and not faults.node_alive(self.remote_node):
+                self._flush_after(wr, faults.detection_timeout,
+                                  WcStatus.WR_FLUSH_ERR)
+                return
             old_value = apply(remote_region, remote_offset)
             response = self._fabric().unicast(self.remote_node, self.node, 8,
                                               control=True)
@@ -312,14 +399,25 @@ class QueuePair:
         if not data:
             raise RdmaError("cannot send an empty message")
         size = len(data)
+        faults = self._faults()
+        if faults is not None:
+            admit = faults.rc_admission(self.node, self.remote_node)
+            if admit is None:
+                return self._flush_wr(Opcode.SEND, wr_id, signaled, faults)
+            fault_delay = admit
+        else:
+            fault_delay = 0.0
         inline = size <= self.nic.profile.max_inline_size
-        offset_delay = self.nic.engine_delay(inline)
+        offset_delay = self.nic.engine_delay(inline) + fault_delay
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
                                          delay=offset_delay)
         peer = self._peer
 
         def on_arrival(_event, data=data, imm=imm):
+            faults = self._faults()
+            if faults is not None and not faults.node_alive(self.remote_node):
+                return  # the receiving QP died with its node
             peer._deliver(data, imm)
 
         arrival.callbacks.append(on_arrival)

@@ -3,6 +3,18 @@ InfiniBand EDR testbed (see DESIGN.md Section 2)."""
 
 from repro.simnet.cluster import Cluster
 from repro.simnet.fabric import Fabric
+from repro.simnet.faults import (
+    FaultPlan,
+    FaultPlane,
+    LinkDegrade,
+    LinkDown,
+    NodeCrash,
+    Partition,
+    link_degrade,
+    link_down,
+    node_crash,
+    partition,
+)
 from repro.simnet.kernel import (
     AllOf,
     AnyOf,
@@ -28,6 +40,16 @@ __all__ = [
     "Node",
     "Fabric",
     "Cluster",
+    "FaultPlan",
+    "FaultPlane",
+    "LinkDown",
+    "NodeCrash",
+    "Partition",
+    "LinkDegrade",
+    "link_down",
+    "node_crash",
+    "partition",
+    "link_degrade",
     "Store",
     "Resource",
     "Barrier",

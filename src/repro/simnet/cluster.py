@@ -32,6 +32,29 @@ class Cluster:
         self.seed = seed
         self.nodes = [Node(self, node_id) for node_id in range(node_count)]
         self.fabric = Fabric(self)
+        #: The installed fault plane, if any (see ``repro.simnet.faults``).
+        self.faults = None
+        from repro.simnet.faults import _install_default
+        _install_default(self)
+
+    def install_faults(self, plan, detection_timeout: float | None = None):
+        """Install a :class:`~repro.simnet.faults.FaultPlan` on this
+        cluster and return the resulting
+        :class:`~repro.simnet.faults.FaultPlane`.
+
+        Install before opening flow endpoints (queue pairs consult
+        ``cluster.faults`` per posted operation). One plane per cluster;
+        an empty plan is a supported no-op (zero simulated overhead)."""
+        from repro.simnet.faults import DEFAULT_DETECTION_TIMEOUT, FaultPlane
+
+        if self.faults is not None:
+            raise ConfigurationError(
+                "a fault plane is already installed on this cluster")
+        if detection_timeout is None:
+            detection_timeout = DEFAULT_DETECTION_TIMEOUT
+        self.faults = FaultPlane(self, plan, detection_timeout)
+        self.fabric._faults = self.faults
+        return self.faults
 
     @property
     def node_count(self) -> int:

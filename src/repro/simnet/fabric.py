@@ -45,6 +45,11 @@ class Fabric:
         self.multicast_count = 0
         #: Multicast receiver deliveries dropped by loss injection.
         self.multicast_drops = 0
+        #: Multicast receiver deliveries dropped by the fault plane
+        #: (member crashed / partitioned away).
+        self.fault_drops = 0
+        #: Installed fault plane (set by ``Cluster.install_faults``).
+        self._faults = None
 
     # -- unicast -----------------------------------------------------------
     def unicast(self, source: Node, destination: Node, size: int,
@@ -103,7 +108,17 @@ class Fabric:
         send_start = up_end - source.uplink.serialization_time(size)
         arrivals: dict[Node, Timeout | None] = {}
         loss_p = self.profile.multicast_loss_probability
+        faults = self._faults
+        if faults is not None and not faults.active:
+            faults = None
         for member in members:
+            if faults is not None and not faults.ud_deliverable(source,
+                                                                member):
+                # Crashed or partitioned-away member: the datagram never
+                # reaches its port (UD has no retransmission).
+                self.fault_drops += 1
+                arrivals[member] = None
+                continue
             if loss_p > 0.0 and self._loss_rng.random() < loss_p:
                 self.multicast_drops += 1
                 arrivals[member] = None

@@ -191,7 +191,35 @@ class Process(Event):
         interrupt_event.callbacks = [self._resume]
         self.env._schedule(interrupt_event)
 
+    def kill(self, value: Any = None) -> None:
+        """Forcibly terminate the process (fail-stop semantics).
+
+        The generator is closed (``finally`` blocks run, but the process
+        body never resumes), any event the process was waiting on is
+        detached, and the process event succeeds with ``value`` so that
+        waiters observe a terminated — not hung — process. A no-op on an
+        already-finished process. Used by the fault plane's node-crash
+        injection; cannot kill the currently-running process.
+        """
+        if self.triggered:
+            return
+        if self.env._active_process is self:
+            raise SimulationError("a process cannot kill itself")
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._generator.close()
+        self.succeed(value)
+
     def _resume(self, event: Event) -> None:
+        if self.triggered:
+            # Killed while an event (e.g. its Initialize) still held this
+            # callback: the wakeup is void.
+            return
         self._waiting_on = None
         self.env._active_process = self
         while True:

@@ -1,0 +1,174 @@
+"""Chaos tests: seeded random fault schedules against every flow type.
+
+The invariant under test is **no hang**: whatever a random (but seeded,
+hence reproducible) fault plan does to a run — crashes, link outages,
+partitions, degrades — every endpoint process must finish within the
+simulation horizon with a *legible* outcome: normal completion, a flow
+error from the taxonomy (FlowPeerFailedError / FlowTimeoutError /
+FlowAbortedError), or death by crash injection. Raw transport errors
+leaking to the application, or a process still blocked at the horizon,
+are failures.
+
+The same harness doubles as the chaos determinism check: one seed, run
+twice, must produce bit-identical outcomes and tuple counts.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    FlowAbortedError,
+    FlowPeerFailedError,
+    FlowTimeoutError,
+)
+from repro.core import (
+    FLOW_END,
+    AggregationSpec,
+    DfiRuntime,
+    FlowOptions,
+    Optimization,
+    Schema,
+)
+from repro.simnet import Cluster, FaultPlan
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+SEEDS = range(5)
+FLOW_TYPES = ("shuffle", "replicate", "combiner")
+MODES = (Optimization.BANDWIDTH, Optimization.LATENCY)
+
+#: Simulated horizon: generous against every bounded wait in the stack
+#: (fault window 0.05-0.8 ms, detection 60 µs, peer timeout 200 µs,
+#: 32 backoff rounds ≈ 1.4 ms worst case).
+HORIZON = 8_000_000.0
+DETECTION = 60_000.0
+
+ALLOWED = {"completed", "killed", "FlowPeerFailedError",
+           "FlowTimeoutError", "FlowAbortedError"}
+_FLOW_ERRORS = (FlowPeerFailedError, FlowTimeoutError, FlowAbortedError)
+
+
+def _options(flow_type, optimization, seed):
+    return FlowOptions(
+        segment_size=256, source_segments=4, target_segments=8,
+        credit_threshold=2,
+        peer_timeout=200_000.0,
+        max_backoff_retries=32,
+        max_retransmits=8,
+        # Exercise both failure policies across the seed matrix.
+        on_target_failure="reroute" if seed % 2 else "abort",
+        multicast=(flow_type == "replicate"
+                   and optimization is Optimization.LATENCY))
+
+
+def _run_chaos(seed, flow_type, optimization):
+    """One chaos run; returns (outcomes, tuple counts, final time)."""
+    cluster = Cluster(node_count=5, seed=seed)
+    plan = FaultPlan.random(seed, node_ids=range(5), start=50_000.0,
+                            horizon=800_000.0, entry_count=3,
+                            protected=(0,))  # node 0: registry master
+    cluster.install_faults(plan, detection_timeout=DETECTION)
+    dfi = DfiRuntime(cluster)
+    options = _options(flow_type, optimization, seed)
+
+    if flow_type == "shuffle":
+        dfi.init_shuffle_flow("chaos", ["node1|0", "node2|0"],
+                              ["node3|0", "node4|0"], SCHEMA,
+                              shuffle_key="key", optimization=optimization,
+                              options=options)
+        sources = [(1, 0), (2, 1)]
+        targets = [(3, 0), (4, 1)]
+    elif flow_type == "replicate":
+        dfi.init_replicate_flow("chaos", ["node1|0"],
+                                ["node2|0", "node3|0", "node4|0"], SCHEMA,
+                                optimization=optimization, options=options)
+        sources = [(1, 0)]
+        targets = [(2, 0), (3, 1), (4, 2)]
+    else:
+        dfi.init_combiner_flow("chaos", ["node1|0", "node2|0", "node3|0"],
+                               "node4|0", SCHEMA,
+                               aggregation=AggregationSpec("sum", "key",
+                                                           "value"),
+                               optimization=optimization, options=options)
+        sources = [(1, 0), (2, 1), (3, 2)]
+        targets = [(4, 0)]
+
+    outcomes = {}
+    counts = {}
+
+    def source_thread(key, index):
+        try:
+            source = yield from dfi.open_source("chaos", index)
+            for i in range(600):
+                yield from source.push((i, 1))
+            yield from source.close()
+            outcomes[key] = "completed"
+        except _FLOW_ERRORS as exc:
+            outcomes[key] = type(exc).__name__
+
+    def target_thread(key, index):
+        counts[key] = 0
+        try:
+            target = yield from dfi.open_target("chaos", index)
+            if flow_type == "combiner":
+                while (yield from target.consume_step()) is not FLOW_END:
+                    pass
+                counts[key] = target.tuples_aggregated
+            else:
+                while True:
+                    item = yield from target.consume()
+                    if item is FLOW_END:
+                        break
+                    counts[key] += 1
+            outcomes[key] = "completed"
+        except _FLOW_ERRORS as exc:
+            outcomes[key] = type(exc).__name__
+
+    procs = {}
+    for node_id, index in sources:
+        key = ("src", index)
+        procs[key] = cluster.node(node_id).spawn(source_thread(key, index))
+    for node_id, index in targets:
+        key = ("tgt", index)
+        procs[key] = cluster.node(node_id).spawn(target_thread(key, index))
+
+    cluster.run(until=HORIZON)
+
+    for key, proc in procs.items():
+        if key not in outcomes:
+            # Crash injection kills the whole process: that is a legible
+            # outcome. Anything else still unfinished at the horizon is a
+            # hang — exactly what this suite exists to catch.
+            assert not proc.is_alive, (
+                f"hang: endpoint {key} still blocked at the horizon "
+                f"(seed={seed}, flow={flow_type}, "
+                f"mode={optimization.value}, plan={plan.entries})")
+            outcomes[key] = "killed"
+    return outcomes, counts, cluster.now
+
+
+@pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+@pytest.mark.parametrize("flow_type", FLOW_TYPES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_no_hang(seed, flow_type, mode):
+    outcomes, _counts, _now = _run_chaos(seed, flow_type, mode)
+    assert set(outcomes.values()) <= ALLOWED, outcomes
+
+
+def test_chaos_matrix_actually_injects_failures():
+    """Sanity check on the harness itself: across the whole seed matrix
+    at least some runs must experience a fault-induced outcome —
+    otherwise the no-hang assertions above are vacuous."""
+    observed = set()
+    for seed in SEEDS:
+        for flow_type in FLOW_TYPES:
+            outcomes, _counts, _now = _run_chaos(
+                seed, flow_type, Optimization.BANDWIDTH)
+            observed |= set(outcomes.values())
+    assert observed - {"completed"}, "no chaos run saw any failure"
+
+
+@pytest.mark.parametrize("flow_type", FLOW_TYPES)
+def test_chaos_runs_are_bit_reproducible(flow_type):
+    for mode in MODES:
+        first = _run_chaos(3, flow_type, mode)
+        second = _run_chaos(3, flow_type, mode)
+        assert first == second

@@ -8,6 +8,11 @@ trace is bit-identical across two same-seed runs — the property the
 figure benches (and the wall-clock fast paths) rely on.
 """
 
+import pytest
+
+from repro.common.errors import FlowTimeoutError
+from repro.common.rand import derive_rng
+from repro.core.backoff import FULL_RING_BACKOFF_BASE, full_ring_backoff
 from repro.core.registry import RingHandle
 from repro.core.segment import FLAG_CONSUMABLE, FOOTER_SIZE, pack_footer
 from repro.core.writers import CreditRingWriter, FooterRingWriter
@@ -112,3 +117,115 @@ def test_credit_writer_backoff_trace_is_deterministic():
 
 def test_credit_writer_backoff_depends_on_seed():
     assert _run_credit_backoff(seed=1) != _run_credit_backoff(seed=2)
+
+
+# -- exponential backoff policy (repro.core.backoff) --------------------------
+
+def test_full_ring_backoff_is_exponential_with_bounded_jitter():
+    rng = derive_rng(0, "test-backoff")
+    for attempt in range(12):
+        base = FULL_RING_BACKOFF_BASE * (1 << min(attempt, 6))
+        delays = [full_ring_backoff(rng, attempt) for _ in range(50)]
+        # Jitter multiplies the exponential base by [1, 2).
+        assert all(base <= d < 2 * base for d in delays)
+    # The exponential caps at 2**6: attempts 6 and 60 share a base.
+    capped = FULL_RING_BACKOFF_BASE * (1 << 6)
+    assert capped <= full_ring_backoff(rng, 60) < 2 * capped
+
+
+def test_backoff_schedule_is_identical_across_identical_runs():
+    """The whole jittered schedule — not just its statistics — replays
+    bit-identically from the same per-node stream."""
+    first = [full_ring_backoff(derive_rng(7, "node-backoff", 3), a)
+             for a in range(20)]
+    second = [full_ring_backoff(derive_rng(7, "node-backoff", 3), a)
+              for a in range(20)]
+    assert first == second
+    # Different node id => different stream.
+    other = [full_ring_backoff(derive_rng(7, "node-backoff", 4), a)
+             for a in range(20)]
+    assert first != other
+
+
+# -- retry budget -------------------------------------------------------------
+
+def _full_footer_ring(cluster):
+    region = get_nic(cluster.node(1)).register_memory(SEGMENTS * SLOT)
+    for i in range(SEGMENTS):
+        region.write(i * SLOT + SEGMENT_SIZE,
+                     pack_footer(SEGMENT_SIZE, FLAG_CONSUMABLE, seq=1))
+    return RingHandle(node_id=1, rkey=region.rkey,
+                      segment_count=SEGMENTS, segment_size=SEGMENT_SIZE)
+
+
+def test_footer_writer_retry_budget_raises_flow_timeout():
+    cluster = Cluster(node_count=2)
+    writer = FooterRingWriter(cluster.node(0), _full_footer_ring(cluster),
+                              tag=("t",), max_retries=5)
+    errors = []
+
+    def writer_thread():
+        try:
+            yield from writer.write_segment(b"\xab" * SEGMENT_SIZE,
+                                            FLAG_CONSUMABLE, 0)
+        except FlowTimeoutError as exc:
+            errors.append((exc, cluster.now))
+
+    cluster.env.process(writer_thread())
+    cluster.run()
+    assert len(errors) == 1
+    exc, at = errors[0]
+    assert "5 backoff rounds" in str(exc)
+    # The budget bounds the stall: five capped rounds at most.
+    assert at < 5 * 2 * 400.0 * (1 << 6) + 100_000.0
+
+
+def test_credit_writer_retry_budget_raises_flow_timeout():
+    cluster = Cluster(node_count=2)
+    nic = get_nic(cluster.node(1))
+    ring_region = nic.register_memory(SEGMENTS * SLOT)
+    credit_region = nic.register_memory(8)  # stays 0: no credit, ever
+    handle = RingHandle(node_id=1, rkey=ring_region.rkey,
+                        segment_count=SEGMENTS, segment_size=SEGMENT_SIZE,
+                        credit_rkey=credit_region.rkey, credit_offset=0)
+    writer = CreditRingWriter(cluster.node(0), handle, tag=("c",),
+                              credit_threshold=1, max_retries=4)
+    errors = []
+
+    def writer_thread():
+        payload = b"\xcd" * SEGMENT_SIZE
+        try:
+            for seq in range(2 * SEGMENTS):
+                yield from writer.write_segment(payload, FLAG_CONSUMABLE,
+                                                seq)
+        except FlowTimeoutError as exc:
+            errors.append(exc)
+
+    cluster.env.process(writer_thread())
+    cluster.run()
+    assert len(errors) == 1
+    assert "4 backoff rounds" in str(errors[0])
+    # The initial ring's worth of credits was spent before the stall.
+    assert writer.segments_written == SEGMENTS
+
+
+def test_retry_budget_unset_retries_forever():
+    """Without a budget the writer keeps polling — backstop for the
+    default (pre-fault-plane) behaviour."""
+    cluster = Cluster(node_count=2)
+    writer = FooterRingWriter(cluster.node(0), _full_footer_ring(cluster),
+                              tag=("t",))
+    done = []
+
+    def writer_thread():
+        yield from writer.write_segment(b"\xab" * SEGMENT_SIZE,
+                                        FLAG_CONSUMABLE, 0)
+        done.append(cluster.now)
+
+    cluster.env.process(writer_thread())
+    with pytest.raises(RuntimeError):
+        # Bounded run: the writer is still politely backing off when the
+        # horizon hits — no FlowTimeoutError, no completion.
+        cluster.run(until=10_000_000.0)
+        raise RuntimeError("horizon reached")
+    assert not done

@@ -187,3 +187,170 @@ def test_multiple_sources_adopt_independently():
     total = received[0] + received[1] + received[2]
     assert len(total) == 600
     assert len(received[2]) > 0
+
+
+# -- abort racing elasticity (fault-tolerance extension) ---------------------
+
+def test_abort_racing_extend_targets_does_not_strand_the_new_target():
+    """A target adopted while the flow is being aborted must terminate
+    with FlowAbortedError — whether its ring was published before the
+    abort (it gets a marker) or after (it sees the registry flag)."""
+    from repro.common.errors import FlowAbortedError
+
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("race", ["node0|0"], ["node1|0", "node2|0"],
+                          SCHEMA, shuffle_key="key", options=OPTIONS)
+    aborted = []
+
+    def source_thread(env):
+        source = yield from dfi.open_source("race", 0)
+        for i in range(100):
+            yield from source.push((i, 1))
+        # The flow grows... and is aborted before the source ever adopts
+        # the new target.
+        new_index = dfi.registry.extend_targets("race", "node3|0")
+        cluster.env.process(target_thread(new_index))
+        yield env.timeout(5_000.0)  # the new target opens + publishes
+        yield from source.abort()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("race", index)
+        try:
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+        except FlowAbortedError:
+            aborted.append(index)
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    # All three targets terminated via the abort — including the adopted
+    # one, whose ring the source never pushed a single tuple into.
+    assert sorted(aborted) == [0, 1, 2]
+
+
+def test_target_opening_after_abort_sees_the_flag():
+    """The other side of the race: the abort lands *before* the new
+    target even publishes its ring. The registry flag (set synchronously
+    at abort time) catches it."""
+    from repro.common.errors import FlowAbortedError
+
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("flag", ["node0|0"], ["node1|0", "node2|0"],
+                          SCHEMA, shuffle_key="key", options=OPTIONS)
+    outcome = {}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("flag", 0)
+        yield from source.push((1, 1))
+        new_index = dfi.registry.extend_targets("flag", "node3|0")
+        yield from source.abort()
+        # Only now does the adopted target open.
+        cluster.env.process(late_target_thread(new_index))
+
+    def target_thread(index):
+        target = yield from dfi.open_target("flag", index)
+        try:
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+        except FlowAbortedError:
+            outcome[index] = "aborted"
+
+    def late_target_thread(index):
+        target = yield from dfi.open_target("flag", index)
+        try:
+            yield from target.consume()
+        except FlowAbortedError:
+            outcome[index] = "aborted"
+
+    cluster.env.process(source_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    assert outcome == {0: "aborted", 1: "aborted", 2: "aborted"}
+
+
+def test_adopt_after_abort_raises_instead_of_deadlocking():
+    """A sibling source adopting new targets on an already-aborted flow
+    fails fast (the ring it would wait for will never be written)."""
+    from repro.common.errors import FlowAbortedError
+
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("sib", ["node0|0", "node0|1"],
+                          ["node1|0", "node2|0"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    outcome = {}
+
+    def aborter_thread(env):
+        source = yield from dfi.open_source("sib", 0)
+        yield from source.push((1, 1))
+        dfi.registry.extend_targets("sib", "node3|0")
+        yield from source.abort()
+
+    def sibling_thread(env):
+        source = yield from dfi.open_source("sib", 1)
+        yield env.timeout(50_000.0)  # after the abort
+        try:
+            yield from source.adopt_new_targets()
+        except FlowAbortedError:
+            outcome["sibling"] = "aborted"
+
+    def target_thread(index):
+        from repro.common.errors import FlowAbortedError as Aborted
+        target = yield from dfi.open_target("sib", index)
+        try:
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+        except Aborted:
+            pass
+
+    cluster.env.process(aborter_thread(cluster.env))
+    cluster.env.process(sibling_thread(cluster.env))
+    cluster.env.process(target_thread(0))
+    cluster.env.process(target_thread(1))
+    cluster.run()
+    assert outcome == {"sibling": "aborted"}
+
+
+def test_abort_racing_retire_leaves_no_dangling_channel():
+    """retire_target followed by an abort of the shrunken flow: the
+    retired target drains to FLOW_END, the rest see the abort, and the
+    run terminates (nothing leaks, nothing deadlocks)."""
+    from repro.common.errors import FlowAbortedError
+
+    cluster = Cluster(node_count=4)
+    dfi = DfiRuntime(cluster)
+    dfi.init_shuffle_flow("ra", ["node0|0"],
+                          ["node1|0", "node2|0", "node3|0"], SCHEMA,
+                          shuffle_key="key", options=OPTIONS)
+    results = {}
+
+    def source_thread(env):
+        source = yield from dfi.open_source("ra", 0)
+        for i in range(60):
+            yield from source.push((i, 1))
+        yield from source.retire_target(2)
+        for i in range(60, 120):
+            yield from source.push((i, 1))
+        yield from source.abort()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("ra", index)
+        try:
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+            results[index] = "flow_end"
+        except FlowAbortedError:
+            results[index] = "aborted"
+
+    cluster.env.process(source_thread(cluster.env))
+    for index in range(3):
+        cluster.env.process(target_thread(index))
+    cluster.run()
+    assert results[2] == "flow_end"  # retired cleanly before the abort
+    assert results[0] == "aborted"
+    assert results[1] == "aborted"
