@@ -18,6 +18,8 @@ hot path gets faster — determinism guard).
 ``--check <committed.json>`` re-compares a fresh run against a committed
 baseline JSON and reports per-scenario deviation (report-only: the exit
 code is always 0; CI uses it as a regression tripwire, not a gate).
+``--profile`` wraps the run in cProfile and prints the top 20 entries by
+cumulative time.
 """
 
 from __future__ import annotations
@@ -29,6 +31,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, os.pardir, "src"))
+
+from profutil import maybe_profiled  # noqa: E402
 
 from repro.core import (  # noqa: E402
     FLOW_END,
@@ -358,4 +362,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    maybe_profiled(main)

@@ -5,9 +5,10 @@ DFI hot path produces: timeout storms (NIC timers), zero-delay wakeup
 chains (process resume cascades), and process ping-pong through manual
 events. Run with::
 
-    PYTHONPATH=src python benchmarks/perf/bench_kernel.py
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py [--profile]
 
-Emits ``benchmarks/perf/BENCH_kernel.json``.
+Emits ``benchmarks/perf/BENCH_kernel.json``. ``--profile`` wraps the run
+in cProfile and prints the top 20 entries by cumulative time.
 """
 
 from __future__ import annotations
@@ -19,6 +20,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, os.pardir, "src"))
+
+from profutil import maybe_profiled  # noqa: E402
 
 from repro.simnet import Environment  # noqa: E402
 
@@ -98,11 +101,46 @@ def bench_pooled_timeouts(n: int) -> dict:
             "wall_seconds": wall, "events_per_sec": n / wall}
 
 
+def bench_callback_schedule(n: int) -> dict:
+    """n direct callbacks via ``schedule_at`` (one timer churn each)."""
+    env = Environment()
+    sink = []
+    append = sink.append
+    for i in range(n):
+        env.schedule_at(float(i % 97) + 1.0, lambda: append(None))
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    assert len(sink) == n
+    return {"name": "callback_schedule", "events": n, "wall_seconds": wall,
+            "events_per_sec": n / wall}
+
+
+def bench_train_schedule(n: int) -> dict:
+    """The same n callbacks posted as trains of 16 via ``schedule_train``
+    (one chained recycled timer walks each sorted action list) — the
+    kernel shape a doorbell-batched NIC produces."""
+    env = Environment()
+    sink = []
+    append = sink.append
+    action = lambda: append(None)  # noqa: E731
+    for base in range(0, n, 16):
+        env.schedule_train([(float(base % 97) + 1.0 + 0.01 * i, action)
+                            for i in range(min(16, n - base))])
+    start = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - start
+    assert len(sink) == n
+    return {"name": "train_schedule", "events": n, "wall_seconds": wall,
+            "events_per_sec": n / wall}
+
+
 def main() -> None:
     n = int(os.environ.get("BENCH_KERNEL_EVENTS", 200_000))
     results = {"bench": "kernel", "scenarios": []}
     for fn in (bench_timeout_storm, bench_zero_delay_chain,
-               bench_ping_pong, bench_pooled_timeouts):
+               bench_ping_pong, bench_pooled_timeouts,
+               bench_callback_schedule, bench_train_schedule):
         entry = fn(n)
         results["scenarios"].append(entry)
         print(f"{entry['name']:>20}: {entry['events_per_sec']:12.0f} "
@@ -113,4 +151,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    maybe_profiled(main)

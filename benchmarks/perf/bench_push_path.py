@@ -8,11 +8,12 @@ simulator the hardware limit is the host CPU.
 
 Run with::
 
-    PYTHONPATH=src python benchmarks/perf/bench_push_path.py
+    PYTHONPATH=src python benchmarks/perf/bench_push_path.py [--profile]
 
 Emits ``benchmarks/perf/BENCH_push_path.json`` with tuples/sec per
 scenario plus the simulated GiB/s (which must not change when the hot
-path gets faster — determinism guard).
+path gets faster — determinism guard). ``--profile`` wraps the run in
+cProfile and prints the top 20 entries by cumulative time.
 """
 
 from __future__ import annotations
@@ -24,6 +25,8 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                 os.pardir, os.pardir, "src"))
+
+from profutil import maybe_profiled  # noqa: E402
 
 from repro.bench.flows import measure_shuffle_bandwidth  # noqa: E402
 from repro.common.units import GIB, SECONDS  # noqa: E402
@@ -39,6 +42,11 @@ from repro.simnet import Cluster  # noqa: E402
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 OUTPUT = os.path.join(HERE, "BENCH_push_path.json")
+
+#: Number of timed repetitions per scenario; the best (max tuples/s) is
+#: reported, standard microbench practice to shed scheduler noise (the
+#: consume and doorbell benches use the same convention).
+REPS = int(os.environ.get("BENCH_PUSH_REPS", 3))
 
 
 def _schema(tuple_size: int) -> Schema:
@@ -138,16 +146,36 @@ def _supports_batch() -> bool:
     return hasattr(ShuffleSource, "push_batch")
 
 
+def _best_of(fn, *args) -> dict:
+    """Run a scenario ``REPS`` times, report the best wall-clock rep.
+
+    Simulated metrics must be bit-identical across reps (the simulator is
+    deterministic); any divergence is a correctness bug, so it asserts.
+    """
+    best = fn(*args)
+    for _ in range(REPS - 1):
+        rep = fn(*args)
+        assert rep["simulated_elapsed_ns"] == best["simulated_elapsed_ns"], (
+            rep["mode"], rep["simulated_elapsed_ns"],
+            best["simulated_elapsed_ns"])
+        if rep["tuples_per_sec"] > best["tuples_per_sec"]:
+            best = rep
+    best["reps"] = REPS
+    return best
+
+
 def main() -> None:
     total_bytes = int(os.environ.get("BENCH_PUSH_BYTES", 4 << 20))
     results = {"bench": "push_path", "total_bytes": total_bytes,
-               "scenarios": []}
+               "reps": REPS, "scenarios": []}
     scenarios = [(64, "per-tuple"), (256, "per-tuple"), (1024, "per-tuple")]
     if _supports_batch():
         scenarios += [(64, "batched"), (256, "batched"), (1024, "batched"),
                       (64, "bytes")]
+    # Warm the interpreter on a small run before anything is timed.
+    _run_shuffle(64, min(total_bytes, 256 << 10), "per-tuple")
     for tuple_size, mode in scenarios:
-        entry = _run_shuffle(tuple_size, total_bytes, mode)
+        entry = _best_of(_run_shuffle, tuple_size, total_bytes, mode)
         results["scenarios"].append(entry)
         print(f"shuffle/bw {entry['tuple_size']:5d} B {entry['mode']:>9}: "
               f"{entry['tuples_per_sec']:12.0f} tuples/s wall, "
@@ -163,4 +191,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    maybe_profiled(main)

@@ -16,6 +16,11 @@ and diff the JSON against a pre-change capture.
 once with an *empty* ``FaultPlan`` installed on every cluster — and
 fails (exit 1) on any difference: the fault plane must be exactly free
 when no faults are scheduled.
+
+``--check <baseline.json>`` collects a fresh fingerprint and compares it
+bit-exactly against a previously captured JSON: any drift on a key the
+baseline knows fails (exit 1); keys only the fresh run has are reported
+as new (coverage growth, not drift).
 """
 
 from __future__ import annotations
@@ -82,6 +87,83 @@ def _combiner_step_fingerprint() -> tuple:
     return cluster.now, out["tuples"], checksum
 
 
+def _train_shuffle_fingerprint() -> tuple:
+    """1:1 bandwidth shuffle pushed in 1024-tuple batches: full-segment
+    flushes ride the doorbell-train path (windowed writability proof,
+    deferred doorbells, ``post_write_batch``). Exact finish time plus the
+    delivered tuple count pin the train timeline."""
+    cluster = Cluster(node_count=2)
+    dfi = DfiRuntime(cluster)
+    schema = Schema(("key", "uint64"), ("pad", 56))
+    dfi.init_shuffle_flow("fp-train", [Endpoint(0, 0)], [Endpoint(1, 0)],
+                          schema, shuffle_key="key", options=FlowOptions())
+    count = (256 << 10) // schema.tuple_size
+    pad = b"x" * 56
+    consumed = [0]
+
+    def source_thread():
+        source = yield from dfi.open_source("fp-train", 0)
+        pushed = 0
+        while pushed < count:
+            n = min(1024, count - pushed)
+            yield from source.push_batch(
+                [(i, pad) for i in range(pushed, pushed + n)], target=0)
+            pushed += n
+        yield from source.close()
+
+    def target_thread():
+        target = yield from dfi.open_target("fp-train", 0)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                break
+            consumed[0] += len(batch)
+
+    cluster.env.process(source_thread())
+    cluster.env.process(target_thread())
+    cluster.run()
+    return cluster.now, consumed[0]
+
+
+def _train_replicate_fingerprint() -> tuple:
+    """1:2 naive replicate pushed in batches: whole segment trains fan
+    out through ``FooterRingWriter.write_segments`` with one doorbell per
+    windowed chunk."""
+    cluster = Cluster(node_count=3)
+    dfi = DfiRuntime(cluster)
+    schema = Schema(("key", "uint64"), ("pad", 248))
+    dfi.init_replicate_flow(
+        "fp-rep", [Endpoint(0, 0)], [Endpoint(1, 0), Endpoint(2, 0)],
+        schema, options=FlowOptions())
+    count = (128 << 10) // schema.tuple_size
+    pad = b"x" * 248
+    received = [0]
+
+    def source_thread():
+        source = yield from dfi.open_source("fp-rep", 0)
+        pushed = 0
+        while pushed < count:
+            n = min(1024, count - pushed)
+            yield from source.push_batch(
+                [(i, pad) for i in range(pushed, pushed + n)])
+            pushed += n
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("fp-rep", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                break
+            received[0] += 1
+
+    cluster.env.process(source_thread())
+    for index in range(2):
+        cluster.env.process(target_thread(index))
+    cluster.run()
+    return cluster.now, received[0]
+
+
 def collect() -> dict:
     fp = {}
     for tuple_size, threads in ((64, 1), (256, 2)):
@@ -114,6 +196,10 @@ def collect() -> dict:
         options=FlowOptions(target_segments=64, credit_threshold=16))
     fp["consume_nto1_lat_64B_4src"] = m.elapsed_ns
     fp["consume_combiner_step_4src"] = _combiner_step_fingerprint()
+    # Doorbell-train scenarios (this PR): batched pushes route full
+    # segments through deferred-doorbell trains and windowed proofs.
+    fp["train_shuffle_64B_1src"] = _train_shuffle_fingerprint()
+    fp["train_replicate_256B_1to2"] = _train_replicate_fingerprint()
     return fp
 
 
@@ -142,10 +228,37 @@ def check_fault_neutral() -> int:
     return 0
 
 
+def check_baseline(path: str) -> int:
+    """Bit-exact compare a fresh fingerprint against a captured JSON."""
+    with open(path) as fh:
+        baseline = json.load(fh)
+    # JSON round-trips tuples as lists; normalize the fresh capture the
+    # same way so the comparison is representation-free.
+    fresh = json.loads(json.dumps(collect()))
+    for key in fresh:
+        if key not in baseline:
+            print(f"new metric (no baseline): {key}: {fresh[key]!r}")
+    drifted = [key for key in baseline if baseline[key] != fresh.get(key)]
+    if drifted:
+        print(f"FINGERPRINT DRIFT vs {path}:")
+        for key in drifted:
+            print(f"  {key}: baseline={baseline[key]!r} "
+                  f"fresh={fresh.get(key)!r}")
+        return 1
+    print(f"fingerprint: {len(baseline)} baseline metrics bit-identical "
+          f"vs {path}")
+    return 0
+
+
 def main() -> None:
     args = sys.argv[1:]
     if "--check-fault-neutral" in args:
         sys.exit(check_fault_neutral())
+    if args and args[0] == "--check":
+        if len(args) < 2:
+            print("usage: fingerprint.py --check <baseline.json>")
+            sys.exit(2)
+        sys.exit(check_baseline(args[1]))
     output = args[0] if args else None
     fp = collect()
     for key, value in fp.items():

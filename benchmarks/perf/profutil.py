@@ -1,0 +1,32 @@
+"""Shared ``--profile`` support for the perf harnesses.
+
+Passing ``--profile`` to any ``bench_*.py`` runs the whole bench under
+``cProfile`` and dumps the top 20 entries by cumulative time afterwards —
+quick hotspot triage without external tooling. The flag is stripped from
+``sys.argv`` before the bench parses its own arguments.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+
+
+def maybe_profiled(main) -> None:
+    """Run ``main()`` directly, or under cProfile when ``--profile`` is
+    present on the command line."""
+    if "--profile" not in sys.argv:
+        main()
+        return
+    sys.argv.remove("--profile")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        main()
+    finally:
+        profiler.disable()
+        print("\n--- cProfile: top 20 by cumulative time ---")
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative")
+        stats.print_stats(20)

@@ -10,8 +10,24 @@ figure's "DFI adds only minimal overhead" comparison is meaningful.
 from __future__ import annotations
 
 from repro.common.errors import ConfigurationError
+from repro.common.rand import derive_rng
 from repro.rdma.nic import get_nic
 from repro.simnet.cluster import Cluster
+
+
+def _fill_payload(cluster: Cluster, tool: str, role: str, size: int,
+                  client_node: int, server_node: int) -> bytearray:
+    """Random-fill a message buffer from a named RNG stream.
+
+    The real linux-rdma/perftest fills its buffers with random data; we
+    do the same, but from ``derive_rng(cluster.seed, "perftest", ...)``
+    so the bytes are (a) reproducible for a fixed experiment seed and
+    (b) decorrelated from every other stream in the run — drawing here
+    never perturbs node backoff RNGs or workload generators.
+    """
+    rng = derive_rng(cluster.seed, "perftest", tool, role, size,
+                     client_node, server_node)
+    return bytearray(rng.getrandbits(8) for _ in range(size))
 
 
 def _wait_flag(env, region, offset, expected: int):
@@ -54,7 +70,8 @@ def ib_write_lat(cluster: Cluster, size: int, iterations: int = 100,
     rtts: list[float] = []
 
     def client_proc(env):
-        payload = bytearray(size)
+        payload = _fill_payload(cluster, "lat", "client", size,
+                                client_node, server_node)
         for i in range(1, iterations + 1):
             start = env.now
             payload[-1] = i % 256
@@ -63,7 +80,8 @@ def ib_write_lat(cluster: Cluster, size: int, iterations: int = 100,
             rtts.append(env.now - start)
 
     def server_proc(env):
-        payload = bytearray(size)
+        payload = _fill_payload(cluster, "lat", "server", size,
+                                client_node, server_node)
         for i in range(1, iterations + 1):
             yield from _wait_flag(env, server_buf, size - 1, i % 256)
             payload[-1] = i % 256
@@ -89,7 +107,8 @@ def ib_write_bw(cluster: Cluster, size: int, iterations: int = 1000,
     client_nic, server_nic = get_nic(client), get_nic(server)
     server_buf = server_nic.register_memory(size)
     qp = client_nic.create_qp(server)
-    payload = bytes(size)
+    payload = bytes(_fill_payload(cluster, "bw", "client", size,
+                                  client_node, server_node))
     state = {}
 
     def client_proc(env):

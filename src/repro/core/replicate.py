@@ -217,6 +217,10 @@ class NaiveReplicateSource:
         self._sequencer = sequencer
         self._payload_size = _replicate_payload_size(descriptor)
         self._staging = _StagingBuffer(descriptor, self._payload_size)
+        # Doorbell trains need tuple-aligned segments (whole slots go out
+        # as contiguous payload+footer writes).
+        self._train_ok = (self._payload_size
+                          % descriptor.schema.tuple_size == 0)
         self._latency = descriptor.optimization is Optimization.LATENCY
         self._cpu_debt = 0.0
         self._local_seq = 0
@@ -272,6 +276,10 @@ class NaiveReplicateSource:
 
         Simulated cost matches per-tuple push (same CPU debt, same flush
         points); segments are packed with one ``struct`` call each.
+        Unordered bandwidth flows replicate every full segment the batch
+        produces as one doorbell train per writer (globally-ordered flows
+        must draw one sequencer value per segment over the wire, so they
+        keep the eager per-segment path).
         """
         if self.closed:
             raise FlowClosedError("push on a closed replicate source")
@@ -286,6 +294,20 @@ class NaiveReplicateSource:
                      * self.profile.cpu_copy_per_byte)
         total = len(tuples)
         index = 0
+        if self._train_ok and self._sequencer is None:
+            payloads = []
+            while index < total:
+                take = min(self._staging.room, total - index)
+                if take:
+                    self._staging.append_many(tuples[index:index + take])
+                    self.tuples_sent += take
+                    self._cpu_debt += take * per_tuple
+                    index += take
+                if self._staging.full:
+                    payloads.append(self._staging.take())
+            if payloads:
+                yield from self._flush_train(payloads)
+            return
         while index < total:
             take = min(self._staging.room, total - index)
             if take:
@@ -359,6 +381,31 @@ class NaiveReplicateSource:
         for index, exc in failures:
             yield from self._handle_writer_failure(index, exc)
         return work_requests
+
+    def _flush_train(self, payloads):
+        """Generator: replicate a train of full segments to every target —
+        one coalesced CPU charge (same debt a per-segment schedule would
+        accrue), then one doorbell train per writer."""
+        debt = (self._cpu_debt + self.profile.cpu_post_cost
+                * len(payloads) * len(self._writers))
+        self._cpu_debt = 0.0
+        yield self.node.compute(debt)
+        base_seq = self._local_seq
+        self._local_seq += len(payloads)
+        segments = [(payload, FLAG_CONSUMABLE, base_seq + i)
+                    for i, payload in enumerate(payloads)]
+        failures = []
+        for index, writer in enumerate(self._writers):
+            if index in self._failed:
+                continue
+            try:
+                yield from writer.write_segments(segments,
+                                                 self.source_index)
+            except (QpFlushedError, FlowTimeoutError) as exc:
+                failures.append((index, exc))
+        self.segments_sent += len(payloads)
+        for index, exc in failures:
+            yield from self._handle_writer_failure(index, exc)
 
     def _handle_writer_failure(self, index: int, exc: Exception):
         """Generator: one target's writer failed. Replicate semantics

@@ -148,6 +148,20 @@ class BandwidthSourceChannel:
         self._cpu_debt = 0.0
         self._pending_footer_read = None
         self._wrap_wr = None
+        # Doorbell trains: whole-segment batches ride one doorbell ring
+        # with a single *windowed* footer read standing in for the
+        # per-segment pre-reads. The window is capped at half the target
+        # ring so the source and target keep double-buffering (a window
+        # spanning the full ring would serialize the pipeline). Trains
+        # require tuple-aligned segments (the whole slot goes out as one
+        # contiguous payload+footer write).
+        self._train_window = max(1, min(self._ring_segments,
+                                        handle.segment_count // 2))
+        self._train_ok = (self.segment_payload % self.schema.tuple_size == 0)
+        #: Remote slots proven writable by the last windowed footer read.
+        self._window_left = 0
+        #: In-flight windowed footer read (pipelined with the last train).
+        self._pending_window_read = None
         self.closed = False
         #: Segments transferred over the wire (stats).
         self.segments_sent = 0
@@ -210,6 +224,27 @@ class BandwidthSourceChannel:
         yield self.node.compute(debt)
         index = 0
         while index < total:
+            if (self._train_ok and self._used == 0
+                    and total - index >= seg_tuples):
+                # Whole segments remain: assemble a doorbell train. The
+                # common case — window in hand, no wrap WQE to reap —
+                # skips the _train_begin generator entirely.
+                if (self._window_left
+                        and (self._local_index or self._wrap_wr is None)):
+                    cap = min(self._window_left,
+                              self._ring_segments - self._local_index)
+                else:
+                    cap = yield from self._train_begin()
+                cap = min(cap, (total - index) // seg_tuples)
+                for _ in range(cap):
+                    self.schema.pack_many_into(
+                        self._staging, self._staging_base,
+                        tuples[index:index + seg_tuples])
+                    index += seg_tuples
+                    self._train_stage_full_segment()
+                self.tuples_sent += cap * seg_tuples
+                self._train_finish()
+                continue
             room = (capacity - self._used) // tuple_size
             take = min(room, total - index)
             if take:
@@ -220,7 +255,10 @@ class BandwidthSourceChannel:
                 self.tuples_sent += take
                 index += take
             if self._used + tuple_size > capacity:
-                yield from self._flush(0, charge_cpu=False)
+                if self._train_ok and self._used == capacity:
+                    yield from self._flush_train_single()
+                else:
+                    yield from self._flush(0, charge_cpu=False)
 
     def push_bytes(self, data):
         """Generator: append pre-packed tuple bytes — no per-tuple type
@@ -253,6 +291,24 @@ class BandwidthSourceChannel:
         view = memoryview(data)
         index = 0
         while index < size:
+            if (self._train_ok and self._used == 0
+                    and size - index >= capacity):
+                if (self._window_left
+                        and (self._local_index or self._wrap_wr is None)):
+                    cap = min(self._window_left,
+                              self._ring_segments - self._local_index)
+                else:
+                    cap = yield from self._train_begin()
+                cap = min(cap, (size - index) // capacity)
+                for _ in range(cap):
+                    base = self._staging_base
+                    self._staging[base:base + capacity] = \
+                        view[index:index + capacity]
+                    index += capacity
+                    self._train_stage_full_segment()
+                self.tuples_sent += cap * seg_tuples
+                self._train_finish()
+                continue
             room = ((capacity - self._used) // tuple_size) * tuple_size
             take = min(room, size - index)
             if take:
@@ -262,7 +318,10 @@ class BandwidthSourceChannel:
                 self.tuples_sent += take // tuple_size
                 index += take
             if self._used + tuple_size > capacity:
-                yield from self._flush(0, charge_cpu=False)
+                if self._train_ok and self._used == capacity:
+                    yield from self._flush_train_single()
+                else:
+                    yield from self._flush(0, charge_cpu=False)
 
     def close(self):
         """Generator: flush remaining tuples, send the close marker, and
@@ -306,7 +365,14 @@ class BandwidthSourceChannel:
                 yield self._wrap_wr.done
             self._wrap_wr = None
             self.qp.send_cq.poll(max_entries=64)
-        yield from self._ensure_remote_writable()
+        # A windowed proof from a preceding train covers this slot too —
+        # and the window read pipelined behind the last train proves slots
+        # from the *pre-flush* remote index, so it goes stale here.
+        self._pending_window_read = None
+        if self._window_left > 0:
+            self._window_left -= 1
+        else:
+            yield from self._ensure_remote_writable()
         flags = FLAG_CONSUMABLE | extra_flags
         signaled = self._local_index == self._ring_segments - 1
         if extra_flags & FLAG_CLOSED:
@@ -356,6 +422,125 @@ class BandwidthSourceChannel:
         self._staging_base = (self._flushes % self._staging_slots
                               ) * self._slot_size
         return wr
+
+    # -- doorbell trains --------------------------------------------------
+    def _train_begin(self):
+        """Generator: establish the right to write a train of remote
+        slots. Returns the train cap: remote slots proven writable,
+        bounded by the send ring's wrap-around point (the signaled
+        wrap WQE must be the last of its train)."""
+        if self._local_index == 0 and self._wrap_wr is not None:
+            if not self._wrap_wr.done.triggered:
+                yield self._wrap_wr.done
+            self._wrap_wr = None
+            self.qp.send_cq.poll(max_entries=64)
+        if not self._window_left:
+            yield from self._acquire_train_window()
+        return min(self._window_left,
+                   self._ring_segments - self._local_index)
+
+    def _acquire_train_window(self):
+        """Generator: make ``_window_left`` positive with one footer read.
+
+        Reading the footer ``W - 1`` slots ahead of the current remote
+        index proves the whole ``W``-slot window: the target consumes in
+        ring order and blanks each footer as it drains, so a
+        non-consumable footer at slot ``r + W - 1`` implies every slot in
+        ``r .. r + W - 1`` has been drained (or never written).
+        """
+        if self._window_left:
+            return
+        window = self._train_window
+        wr = self._pending_window_read
+        self._pending_window_read = None
+        if wr is None:
+            # A leftover per-segment pre-read proves exactly one slot —
+            # the current one (window of 1).
+            wr = self._pending_footer_read
+            self._pending_footer_read = None
+            if wr is not None:
+                window = 1
+            else:
+                wr = self._read_footer_ahead(window)
+        attempt = 0
+        while True:
+            if wr.done.triggered:
+                data = wr.done.value
+            else:
+                data = yield wr.done
+            if not footer_consumable(data):
+                self._window_left = window
+                return
+            if (self._max_retries is not None
+                    and attempt >= self._max_retries):
+                raise FlowTimeoutError(
+                    f"remote ring on node {self.remote.node_id} still "
+                    f"full after {attempt} backoff rounds")
+            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            attempt += 1
+            window = self._train_window
+            wr = self._read_footer_ahead(window)
+
+    def _train_stage_full_segment(self):
+        """Stage one full staging slot as a doorbell-deferred WQE (payload
+        and footer as one contiguous zero-copy write) and advance the ring
+        state. ``ring_doorbell`` submits the whole train later."""
+        base = self._staging_base
+        pack_footer_into(self._staging, base + self.segment_payload,
+                         self.segment_payload, FLAG_CONSUMABLE, self._seq)
+        signaled = self._local_index == self._ring_segments - 1
+        wr = self.qp.post_write(
+            self._staging_view[base:base + self._slot_size],
+            self.remote.rkey, self._remote_index * self._remote_slot,
+            signaled=signaled, assume_stable=True, doorbell=False)
+        if signaled:
+            self._wrap_wr = wr
+        self.segments_sent += 1
+        self._seq += 1
+        self._remote_index = (self._remote_index + 1
+                              ) % self.remote.segment_count
+        self._local_index = (self._local_index + 1) % self._ring_segments
+        self._flushes += 1
+        self._staging_base = (self._flushes % self._staging_slots
+                              ) * self._slot_size
+        self._window_left -= 1
+
+    def _flush_train_single(self):
+        """Generator: flush the (full) current staging slot as a train of
+        one. Even a one-WQE train wins over the eager ``_flush``: the
+        windowed proof replaces the per-segment footer pre-read (one READ
+        round-trip per window instead of per segment) and the write
+        expands lazily instead of arming three timers."""
+        if self._local_index == 0 and self._wrap_wr is not None:
+            if not self._wrap_wr.done.triggered:
+                yield self._wrap_wr.done
+            self._wrap_wr = None
+            self.qp.send_cq.poll(max_entries=64)
+        if not self._window_left:
+            yield from self._acquire_train_window()
+        self._train_stage_full_segment()
+        self._used = 0
+        self._train_finish()
+
+    def _train_finish(self) -> None:
+        """Ring the doorbell for the staged train. When the train used up
+        the window, pipeline the next window's footer read behind it —
+        the train analogue of the paper's per-segment footer pre-read."""
+        self.qp.ring_doorbell()
+        # Any per-segment pre-read refers to a slot the train wrote over.
+        self._pending_footer_read = None
+        if self._window_left == 0 and self._pipelined_preread:
+            self._pending_window_read = self._read_footer_ahead(
+                self._train_window)
+
+    def _read_footer_ahead(self, window: int):
+        """Unsignaled read of the footer ``window - 1`` slots ahead of the
+        current remote index (see :meth:`_acquire_train_window`)."""
+        slot = (self._remote_index + window - 1) % self.remote.segment_count
+        return self.qp.post_read(
+            self._scratch, 0, self.remote.rkey,
+            slot * self._remote_slot + self.remote.segment_size,
+            FOOTER_SIZE, signaled=False)
 
     def _ensure_remote_writable(self):
         wr = self._pending_footer_read

@@ -50,6 +50,11 @@ class FooterRingWriter:
         self._since_signal = 0
         self._signal_wr = None
         self.segments_written = 0
+        # Doorbell trains (see BandwidthSourceChannel): one windowed
+        # footer read proves a half-ring of slots writable at once.
+        self._train_window = max(1, handle.segment_count // 2)
+        self._window_left = 0
+        self._pending_window_read = None
 
     def write_segment(self, payload: bytes, flags: int, seq: int,
                       source_index: int = 0):
@@ -62,7 +67,13 @@ class FooterRingWriter:
         end-of-segment position — RC per-QP ordering keeps the footer
         landing strictly after the payload.
         """
-        yield from self._ensure_writable()
+        # A windowed proof from a preceding train covers this slot; the
+        # pipelined window read goes stale once the index advances.
+        self._pending_window_read = None
+        if self._window_left > 0:
+            self._window_left -= 1
+        else:
+            yield from self._ensure_writable()
         if (self._signal_wr is not None
                 and self._since_signal >= self._signal_interval):
             if not self._signal_wr.done.triggered:
@@ -96,6 +107,98 @@ class FooterRingWriter:
             FOOTER_SIZE, signaled=False)
         self._remote_index = next_index
         return wr
+
+    def write_segments(self, segments, source_index: int = 0):
+        """Generator: transfer a train of *full* segments, one doorbell
+        ring per windowed chunk.
+
+        ``segments`` is a sequence of ``(payload, flags, seq)`` tuples
+        whose payloads each fill a whole segment (partial segments and
+        close markers must go through :meth:`write_segment`). Each chunk
+        is bounded by the writability window and the selective-signaling
+        interval, so at most the last WQE of a chunk is signaled and one
+        footer read proves a half-ring of slots. Returns the last posted
+        work request.
+        """
+        handle = self.handle
+        rkey = handle.rkey
+        slot_size = self.slot_size
+        segment_size = handle.segment_size
+        interval = self._signal_interval
+        wr = None
+        index = 0
+        total = len(segments)
+        while index < total:
+            if (self._signal_wr is not None
+                    and self._since_signal >= interval):
+                if not self._signal_wr.done.triggered:
+                    yield self._signal_wr.done
+                self._signal_wr = None
+                self._since_signal = 0
+                self.qp.send_cq.poll(max_entries=64)
+            if not self._window_left:
+                yield from self._acquire_window()
+            take = min(self._window_left, total - index,
+                       interval - self._since_signal)
+            for payload, flags, seq in segments[index:index + take]:
+                signaled = self._since_signal + 1 >= interval
+                footer = pack_footer(segment_size, flags, seq, source_index)
+                wr = self.qp.post_write(
+                    [payload, footer], rkey,
+                    self._remote_index * slot_size, signaled=signaled,
+                    doorbell=False)
+                if signaled:
+                    self._signal_wr = wr
+                self._since_signal += 1
+                self.segments_written += 1
+                self._remote_index = (self._remote_index + 1
+                                      ) % handle.segment_count
+                self._window_left -= 1
+            index += take
+            self.qp.ring_doorbell()
+            # Any per-segment pre-read refers to a slot this train wrote.
+            self._pending_read = None
+            if self._window_left == 0:
+                self._pending_window_read = self._read_footer_ahead(
+                    self._train_window)
+        return wr
+
+    def _acquire_window(self):
+        """Generator: make ``_window_left`` positive with one footer read
+        ``W - 1`` slots ahead (the windowed-writability proof — see
+        ``BandwidthSourceChannel._acquire_train_window``)."""
+        window = self._train_window
+        wr = self._pending_window_read
+        self._pending_window_read = None
+        if wr is None:
+            wr = self._pending_read
+            self._pending_read = None
+            if wr is not None:
+                window = 1
+            else:
+                wr = self._read_footer_ahead(window)
+        attempt = 0
+        while True:
+            data = wr.done.value if wr.done.triggered else (yield wr.done)
+            if not footer_consumable(data):
+                self._window_left = window
+                return
+            if (self._max_retries is not None
+                    and attempt >= self._max_retries):
+                raise FlowTimeoutError(
+                    f"remote ring on node {self.handle.node_id} still "
+                    f"full after {attempt} backoff rounds")
+            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            attempt += 1
+            window = self._train_window
+            wr = self._read_footer_ahead(window)
+
+    def _read_footer_ahead(self, window: int):
+        slot = (self._remote_index + window - 1) % self.handle.segment_count
+        return self.qp.post_read(
+            self._scratch, 0, self.handle.rkey,
+            slot * self.slot_size + self.handle.segment_size,
+            FOOTER_SIZE, signaled=False)
 
     def _ensure_writable(self):
         wr = self._pending_read

@@ -62,7 +62,7 @@ class WorkRequest:
     """
 
     __slots__ = ("wr_id", "opcode", "signaled", "_env", "_done",
-                 "_completed", "_result", "_error")
+                 "_completed", "_result", "_error", "_completes_at")
 
     def __init__(self, env: Environment, wr_id: Any, opcode: Opcode,
                  signaled: bool) -> None:
@@ -74,12 +74,19 @@ class WorkRequest:
         self._completed = False
         self._result: Any = None
         self._error: BaseException | None = None
+        self._completes_at: float | None = None
 
     @property
     def done(self) -> Event:
         """Completion event (created on demand)."""
         event = self._done
         if event is None:
+            when = self._completes_at
+            if (when is not None and not self._completed
+                    and when <= self._env.now):
+                # The recorded completion time passed unobserved: settle
+                # now, with the timestamp semantics of an eager timer.
+                self._completed = True
             event = self._done = Event(self._env)
             if self._completed:
                 if self._error is not None:
@@ -87,6 +94,10 @@ class WorkRequest:
                     event.defuse()
                 else:
                     event.succeed(self._result)
+            elif when is not None:
+                # First observer arrived before the completion time:
+                # materialize the deferred timer at the exact instant.
+                self._env.schedule_at(when, self._settle)
         return event
 
     @property
@@ -100,6 +111,21 @@ class WorkRequest:
         self._result = result
         if self._done is not None:
             self._done.succeed(result)
+
+    def _complete_at(self, when: float, result: Any = None) -> None:
+        """Record that this request completes at the absolute simulated
+        time ``when`` without scheduling anything: the train fast path
+        expands acknowledgment timers lazily. If ``done`` is accessed at
+        or after ``when`` the event materializes already triggered; an
+        earlier access arms a real timer for the exact instant. Must be
+        called before the first ``done`` access."""
+        self._completes_at = when
+        self._result = result
+
+    def _settle(self) -> None:
+        """Deferred-completion timer body (see :meth:`_complete_at`)."""
+        if not self._completed:
+            self._complete(self._result)
 
     def _fail(self, error: BaseException) -> None:
         """Record an error completion. ``done`` fails (pre-defused: a

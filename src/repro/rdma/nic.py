@@ -102,6 +102,29 @@ class RNic:
         self.wqes_processed += 1
         return (start - now) + latency
 
+    def engine_delay_train(self, inlines) -> list[float]:
+        """Reserve consecutive WQE pipeline slots for a doorbell train.
+
+        One doorbell ring hands the NIC a list of WQEs; arbitration is
+        identical to calling :meth:`engine_delay` once per WQE in order
+        (same slot times, same counters), returned as the per-WQE
+        transmission-start offsets from now.
+        """
+        now = self.env.now
+        busy = self._engine_busy_until
+        service = self.profile.nic_wqe_service
+        profile = self.profile
+        offsets = []
+        for inline in inlines:
+            latency = (profile.nic_processing_inline if inline
+                       else profile.nic_processing)
+            start = busy if busy > now else now
+            busy = start + service
+            offsets.append((start - now) + latency)
+        self._engine_busy_until = busy
+        self.wqes_processed += len(offsets)
+        return offsets
+
     def __repr__(self) -> str:
         return f"<RNic {self.node.name} regions={len(self._regions)}>"
 

@@ -43,6 +43,11 @@ def _as_bytes(payload: bytes | bytearray | memoryview) -> bytes:
     return bytes(payload)
 
 
+def _action_when(action) -> float:
+    """Sort key for (when, fn) train actions (stable on equal times)."""
+    return action[0]
+
+
 #: A scatter-gather payload: one buffer or a sequence of buffers that are
 #: written contiguously (e.g. ``[payload_view, footer]``).
 Gather = "bytes | bytearray | memoryview | list | tuple"
@@ -79,6 +84,9 @@ class QueuePair:
         self._peer: "QueuePair | None" = None
         self._recv_queue: deque[tuple[MemoryRegion, int, int, Any]] = deque()
         self._pending_rx: deque[tuple[bytes, int | None]] = deque()
+        #: WQEs staged by ``post_write(doorbell=False)`` awaiting the
+        #: explicit ``ring_doorbell()``.
+        self._staged: list = []
 
     # -- connection handling (two-sided only) ------------------------------
     def connect(self, peer: "QueuePair") -> None:
@@ -164,7 +172,8 @@ class QueuePair:
     def post_write(self, payload,
                    remote_rkey: int, remote_offset: int,
                    signaled: bool = False, wr_id: Any = None,
-                   assume_stable: bool = False) -> WorkRequest:
+                   assume_stable: bool = False,
+                   doorbell: bool = True) -> WorkRequest:
         """Post a one-sided RDMA WRITE of ``payload`` into the remote region.
 
         ``payload`` is one buffer or a gather list of buffers (written
@@ -176,6 +185,12 @@ class QueuePair:
         the caller must not touch the bytes until the write completed —
         exactly the send-ring contract real verbs impose (DFI reuses a
         ring slot only after the wrap-around completion drained).
+
+        With ``doorbell=False`` the WQE is only staged on the send queue:
+        no NIC arbitration, no wire reservation, no timers. A later
+        :meth:`ring_doorbell` submits every staged WQE as one doorbell
+        train. Mutable buffers are still snapshotted (or wrapped, under
+        ``assume_stable``) at *staging* time.
 
         Returns the work request; its ``done`` event triggers when the RC
         acknowledgment returns to this sender. The remote CPU is never
@@ -202,6 +217,11 @@ class QueuePair:
             pieces = [(0, chunk)]
         if not size:
             raise RdmaError("cannot post a zero-length write")
+        if not doorbell:
+            wr = WorkRequest(self.env, wr_id, Opcode.WRITE, signaled)
+            self._staged.append((wr, size, pieces, remote_rkey,
+                                 remote_offset))
+            return wr
         faults = self._faults()
         if faults is not None:
             admit = faults.rc_admission(self.node, self.remote_node)
@@ -261,6 +281,218 @@ class QueuePair:
         wr = WorkRequest(self.env, wr_id, Opcode.WRITE, signaled)
         self._finish(wr, arrival.delay + self._ack_latency(), size)
         return wr
+
+    # -- doorbell trains ----------------------------------------------------
+    def ring_doorbell(self) -> list[WorkRequest]:
+        """Submit every WQE staged with ``post_write(doorbell=False)`` as
+        one doorbell train and return their work requests (in posting
+        order). A no-op returning ``[]`` when nothing is staged."""
+        staged = self._staged
+        if not staged:
+            return []
+        self._staged = []
+        return self._post_train(staged)
+
+    def post_write_batch(self, writes,
+                         assume_stable: bool = False) -> list[WorkRequest]:
+        """Post a train of one-sided WRITEs as one scheduling unit.
+
+        ``writes`` is a sequence of ``(payload, remote_rkey,
+        remote_offset, signaled)`` tuples (``signaled`` may be omitted and
+        defaults to False; a fifth element is taken as ``wr_id``). The
+        train is equivalent to posting each write back-to-back at the
+        current instant — identical NIC arbitration, wire occupancy,
+        commit and acknowledgment times — but is driven by O(1) in-flight
+        kernel events instead of O(writes): one chained timer walks the
+        commit train and unsignaled acknowledgments expand lazily (see
+        ``WorkRequest._complete_at``).
+        """
+        entries = []
+        for write in writes:
+            payload, rkey, offset = write[0], write[1], write[2]
+            signaled = write[3] if len(write) > 3 else False
+            wr_id = write[4] if len(write) > 4 else None
+            if isinstance(payload, (list, tuple)):
+                chunks = _gather_chunks(payload, assume_stable)
+                size = 0
+                pieces = []
+                for chunk in chunks:
+                    if len(chunk):
+                        pieces.append((size, chunk))
+                        size += len(chunk)
+            else:
+                chunk = payload
+                if not isinstance(chunk, bytes):
+                    chunk = (memoryview(chunk) if assume_stable
+                             else bytes(chunk))
+                size = len(chunk)
+                pieces = [(0, chunk)]
+            if not size:
+                raise RdmaError("cannot post a zero-length write")
+            entries.append((WorkRequest(self.env, wr_id, Opcode.WRITE,
+                                        signaled),
+                            size, pieces, rkey, offset))
+        return self._post_train(entries)
+
+    def _post_train(self, entries) -> list[WorkRequest]:
+        """Fast path for a doorbell train: reserve the NIC pipeline and the
+        wire for the whole train at once, then schedule one event train
+        that commits each write's payload at its exact arrival time.
+
+        Every timestamp matches the unbatched path bit-for-bit — the only
+        behavioural difference is that a write's *prefix* bytes commit
+        together with its tail at arrival instead of one tail-serialization
+        earlier (the coalescing is protocol-invisible: DFI only ever acts
+        on the footer, which commits at arrival either way).
+        """
+        if not entries:
+            return []
+        faults = self._faults()
+        if faults is not None:
+            return self._post_train_faulted(entries, faults)
+        nic = self.nic
+        remote_nic = get_nic(self.remote_node)
+        inline_max = nic.profile.max_inline_size
+        if len(entries) == 1:
+            # Trains of one are the common shape on hash-routed shuffles
+            # (each channel's share of a batch is about one segment);
+            # skip the multi-entry list/zip machinery. Same arbitration
+            # and wire calls, so timestamps stay bit-identical.
+            wr, size, pieces, rkey, offset = entries[0]
+            region = remote_nic.region(rkey)
+            region.check_range(offset, size)
+            delays = nic.engine_delay_train([size <= inline_max])
+            nic.bytes_posted += size
+            arrival = self._fabric().unicast_train(
+                self.node, self.remote_node, [size], delays)[0]
+
+            def commit(region=region, base=offset, parts=pieces):
+                for piece_offset, chunk in parts:
+                    region.write(base + piece_offset, chunk)
+
+            ack_at = arrival + self._ack_latency()
+            if wr.signaled:
+                send_cq = self.send_cq
+
+                def finish(wr=wr, size=size):
+                    wr._complete(None)
+                    send_cq.push(Completion(
+                        wr_id=wr.wr_id, opcode=wr.opcode,
+                        status=WcStatus.SUCCESS, byte_len=size))
+
+                self.env.schedule_train([(arrival, commit),
+                                         (ack_at, finish)])
+            else:
+                wr._complete_at(ack_at)
+                self.env.schedule_train([(arrival, commit)])
+            return [wr]
+        sizes = []
+        inlines = []
+        regions = []
+        total = 0
+        for _wr, size, pieces, rkey, offset in entries:
+            region = remote_nic.region(rkey)
+            region.check_range(offset, size)
+            regions.append(region)
+            sizes.append(size)
+            inlines.append(size <= inline_max)
+            total += size
+        delays = nic.engine_delay_train(inlines)
+        nic.bytes_posted += total
+        arrivals = self._fabric().unicast_train(self.node, self.remote_node,
+                                                sizes, delays)
+        ack_latency = self._ack_latency()
+        actions = []
+        send_cq = self.send_cq
+        last = len(entries) - 1
+        needs_sort = False
+        for position, ((wr, size, pieces, rkey, offset), region,
+                       arrival) in enumerate(zip(entries, regions,
+                                                 arrivals)):
+
+            def commit(region=region, base=offset, parts=pieces):
+                for piece_offset, chunk in parts:
+                    region.write(base + piece_offset, chunk)
+
+            actions.append((arrival, commit))
+            ack_at = arrival + ack_latency
+            if wr.signaled:
+                def finish(wr=wr, size=size):
+                    wr._complete(None)
+                    send_cq.push(Completion(
+                        wr_id=wr.wr_id, opcode=wr.opcode,
+                        status=WcStatus.SUCCESS, byte_len=size))
+
+                actions.append((ack_at, finish))
+                # A mid-train ack interleaves with later arrivals; a
+                # trailing ack (the selective-signaling shape) lands at or
+                # after the last arrival, so order is already correct.
+                if position != last:
+                    needs_sort = True
+            else:
+                wr._complete_at(ack_at)
+        if needs_sort:
+            actions.sort(key=_action_when)
+        self.env.schedule_train(actions)
+        return [entry[0] for entry in entries]
+
+    def _post_train_faulted(self, entries, faults) -> list[WorkRequest]:
+        """Train posting under an active fault plane.
+
+        The NIC drains a doorbell train sequentially, so each WQE is
+        admitted against the path state at its own wire-serialization start
+        time (NIC issue or the uplink busy horizon, whichever is later):
+        an outage that begins mid-train delivers the prefix of the train
+        and flushes the failing WQE *and every later one* with
+        ``RETRY_EXC_ERR`` (the QP enters the error state; real RC flushes
+        the rest of the send queue). Admitted WQEs take the eager
+        per-write machinery — chaos runs trade the O(1)-event fast path
+        for exact fault observability.
+        """
+        env = self.env
+        nic = self.nic
+        inline_max = nic.profile.max_inline_size
+        remote_nic = get_nic(self.remote_node)
+        fabric = self._fabric()
+        loopback = self.remote_node is self.node
+        uplink = None if loopback else self.node.uplink
+        results = []
+        flush_rest = False
+        for wr, size, pieces, rkey, offset in entries:
+            results.append(wr)
+            if flush_rest:
+                self._flush_after(wr, faults.detection_timeout,
+                                  WcStatus.RETRY_EXC_ERR)
+                continue
+            inline = size <= inline_max
+            offset_delay = nic.engine_delay(inline)
+            wire_at = env.now + offset_delay
+            if uplink is not None and uplink.busy_until > wire_at:
+                wire_at = uplink.busy_until
+            admit = faults.rc_admission(self.node, self.remote_node,
+                                        at=wire_at)
+            if admit is None:
+                flush_rest = True
+                self._flush_after(wr, faults.detection_timeout,
+                                  WcStatus.RETRY_EXC_ERR)
+                continue
+            region = remote_nic.region(rkey)
+            region.check_range(offset, size)
+            nic.bytes_posted += size
+            arrival = fabric.unicast(self.node, self.remote_node, size,
+                                     delay=offset_delay + admit)
+
+            def commit(_event, region=region, base=offset, parts=pieces):
+                plane = self._faults()
+                if (plane is not None
+                        and not plane.node_alive(self.remote_node)):
+                    return  # crashed memory accepts no more commits
+                for piece_offset, chunk in parts:
+                    region.write(base + piece_offset, chunk)
+
+            arrival.callbacks.append(commit)
+            self._finish(wr, arrival.delay + self._ack_latency(), size)
+        return results
 
     # -- one-sided READ ----------------------------------------------------
     def post_read(self, local_region: MemoryRegion, local_offset: int,

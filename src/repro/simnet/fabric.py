@@ -90,6 +90,50 @@ class Fabric:
         arrival = max(down_end, up_end + self.profile.wire_latency)
         return self.env.timeout(arrival - now)
 
+    def unicast_train(self, source: Node, destination: Node, sizes,
+                      delays) -> list[float]:
+        """Transmit a doorbell train of messages from ``source`` to
+        ``destination`` as one scheduling unit.
+
+        Per-message arithmetic (uplink/downlink reservation, cut-through
+        arrival) is identical to calling :meth:`unicast` once per message
+        in posting order, but no arrival events are created — the caller
+        receives the absolute arrival *times* and expands completions
+        lazily (see ``QueuePair.post_write_batch``). ``delays`` holds the
+        per-message transmission-start offsets from now (NIC engine
+        arbitration).
+        """
+        cluster = self.cluster
+        if source.cluster is not cluster or destination.cluster is not cluster:
+            self._check_nodes(source, destination)
+        count = len(sizes)
+        self.unicast_count += count
+        now = self.env.now
+        if source is destination:
+            loop_latency = self.profile.loopback_latency
+            loop_bandwidth = self.profile.loopback_bandwidth
+            last = self._loopback_last.get(source.node_id, 0.0)
+            arrivals = []
+            for size, delay in zip(sizes, delays):
+                arrival = now + delay + loop_latency + size / loop_bandwidth
+                arrival = max(arrival, last)
+                last = arrival
+                arrivals.append(arrival)
+            self._loopback_last[source.node_id] = last
+            return arrivals
+        uplink = source.uplink
+        downlink = destination.downlink
+        wire_latency = self.profile.wire_latency
+        up_slots = uplink.reserve_train(sizes,
+                                        [now + delay for delay in delays])
+        arrivals = []
+        for size, (_up_start, up_end) in zip(sizes, up_slots):
+            send_start = up_end - uplink.serialization_time(size)
+            _down_start, down_end = downlink.reserve(
+                size, send_start + wire_latency)
+            arrivals.append(max(down_end, up_end + wire_latency))
+        return arrivals
+
     # -- multicast -----------------------------------------------------------
     def multicast(self, source: Node, members: list[Node], size: int,
                   delay: float = 0.0) -> dict[Node, Timeout | None]:

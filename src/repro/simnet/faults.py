@@ -339,10 +339,11 @@ class FaultPlane:
         node.downlink.bandwidth *= factor
 
     # -- reachability queries ---------------------------------------------
-    def _path_open_at(self, a: int, b: int) -> float:
-        """Earliest time >= now at which a and b can exchange traffic
-        (``inf`` if one of them crashes first)."""
-        t = self.env.now
+    def _path_open_at(self, a: int, b: int,
+                      at: "float | None" = None) -> float:
+        """Earliest time >= ``at`` (default: now) at which a and b can
+        exchange traffic (``inf`` if one of them crashes first)."""
+        t = self.env.now if at is None else at
         while True:
             if (self._crash_at.get(a, _INF) <= t
                     or self._crash_at.get(b, _INF) <= t):
@@ -364,7 +365,8 @@ class FaultPlane:
         """True once ``node_id`` reached its crash time."""
         return self._crash_at.get(node_id, _INF) <= self.env.now
 
-    def rc_admission(self, src: "Node", dst: "Node") -> "float | None":
+    def rc_admission(self, src: "Node", dst: "Node",
+                     at: "float | None" = None) -> "float | None":
         """Admission verdict for an RC operation posted src -> dst.
 
         Returns the extra delay (0.0 on a clean path; the remaining
@@ -372,13 +374,18 @@ class FaultPlane:
         RC retransmission riding out a short blip), or ``None`` when the
         transport would give up: the peer crashed or the outage outlasts
         ``detection_timeout``, so the work request must flush in error.
+
+        ``at`` evaluates the path as of a future instant instead of now:
+        doorbell-batched trains admit each WQE at its wire-transmission
+        start time, so an outage beginning mid-train delivers the prefix
+        and flushes the suffix.
         """
-        opens = self._path_open_at(src.node_id, dst.node_id)
-        now = self.env.now
-        if opens <= now:
+        opens = self._path_open_at(src.node_id, dst.node_id, at)
+        base = self.env.now if at is None else at
+        if opens <= base:
             return 0.0
-        if opens - now <= self.detection_timeout:
-            return opens - now
+        if opens - base <= self.detection_timeout:
+            return opens - base
         return None
 
     def ud_deliverable(self, src: "Node", dst: "Node") -> bool:

@@ -404,6 +404,82 @@ class Environment:
         self._schedule(timer, delay)
         return timer
 
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn()`` at the absolute simulated time ``when``.
+
+        Unlike ``pooled_timeout(when - now)``, the fire time is exact: the
+        event is queued at ``when`` itself, not at ``now + (when - now)``
+        (which can differ by one ulp in float arithmetic). Times in the
+        past run on the next kernel step.
+        """
+        pool = self._timeout_pool
+        if pool:
+            timer = pool.pop()
+            timer.callbacks = [lambda _event: fn()]
+            timer._value = None
+            timer._exception = None
+            timer._defused = False
+            timer._processed = False
+        else:
+            timer = Timeout.__new__(Timeout)
+            Event.__init__(timer, self)
+            timer._poolable = True
+            timer.callbacks.append(lambda _event: fn())
+        timer.delay = when - self._now
+        timer._scheduled = False
+        self._schedule_abs(timer, when)
+
+    def schedule_train(self, actions) -> None:
+        """Batch-schedule API: run a train of ``(when, fn)`` actions, each
+        at its exact absolute timestamp, using a *single* in-flight
+        recycled timer that walks the train instead of one queued event
+        per action.
+
+        ``actions`` must be sorted by non-decreasing ``when``. This is the
+        kernel half of doorbell batching: a train of segment commits costs
+        one live queue entry at any moment, yet every action still fires
+        at the same ``(time, ...)`` key a per-action ``Timeout`` would
+        have used.
+        """
+        if not actions:
+            return
+        total = len(actions)
+        index = 0
+
+        def fire(_event) -> None:
+            nonlocal index
+            now = self._now
+            while index < total:
+                when, fn = actions[index]
+                if when > now:
+                    break
+                index += 1
+                fn()
+            if index < total:
+                self._chain_timer(actions[index][0], fire)
+
+        self._chain_timer(actions[0][0], fire)
+
+    def _chain_timer(self, when: float, fire) -> None:
+        """Arm one pooled timer at absolute time ``when`` with ``fire`` as
+        its callback (helper for :meth:`schedule_train`)."""
+        pool = self._timeout_pool
+        if pool:
+            timer = pool.pop()
+            timer.callbacks = [fire]
+            timer._value = None
+            timer._exception = None
+            timer._defused = False
+            timer._processed = False
+        else:
+            timer = Timeout.__new__(Timeout)
+            Event.__init__(timer, self)
+            timer._poolable = True
+            timer.callbacks.append(fire)
+        timer.delay = when - self._now
+        timer._scheduled = False
+        self._schedule_abs(timer, when)
+
     def process(self, generator: Generator[Event, Any, Any],
                 name: str | None = None) -> Process:
         """Start a new process driving ``generator``."""
@@ -431,6 +507,20 @@ class Environment:
         else:
             heapq.heappush(self._queue,
                            (self._now + delay, self._sequence, event))
+
+    def _schedule_abs(self, event: Event, when: float) -> None:
+        """Schedule ``event`` at the absolute time ``when`` (clamped to
+        ``now``). Used by the batch-schedule API, whose action timestamps
+        are pre-computed absolutes that must not be round-tripped through
+        a relative delay."""
+        if event._scheduled:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._scheduled = True
+        self._sequence += 1
+        if when <= self._now:
+            self._immediate.append((self._now, self._sequence, event))
+        else:
+            heapq.heappush(self._queue, (when, self._sequence, event))
 
     def _pop_next(self) -> tuple[float, int, Event]:
         """Pop the globally next (time, sequence) event from the heap or

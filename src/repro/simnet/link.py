@@ -57,6 +57,32 @@ class Link:
         self.messages_carried += 1
         return start, end
 
+    def reserve_train(self, sizes, earliests) -> list[tuple[float, float]]:
+        """Reserve back-to-back slots for a doorbell train of messages.
+
+        Equivalent to calling :meth:`reserve` once per message in order —
+        identical float arithmetic, counters, and final busy horizon — but
+        as one call, so a whole train costs one link transaction.
+        Returns the per-message ``(start, end)`` slots.
+        """
+        slots = []
+        busy = self._busy_until
+        busy_time = self._busy_time
+        bandwidth = self.bandwidth
+        for size, earliest in zip(sizes, earliests):
+            if size < 0:
+                raise SimulationError(f"negative message size: {size}")
+            start = busy if busy > earliest else earliest
+            end = start + size / bandwidth
+            busy = end
+            busy_time += end - start
+            self.bytes_carried += size
+            slots.append((start, end))
+        self._busy_until = busy
+        self._busy_time = busy_time
+        self.messages_carried += len(slots)
+        return slots
+
     def reserve_priority(self, size: int, earliest: float) -> tuple[float, float]:
         """Schedule a tiny *control* message (footer/credit reads, atomics)
         that interleaves with queued bulk traffic instead of waiting behind

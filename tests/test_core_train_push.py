@@ -1,0 +1,180 @@
+"""Segment-train push paths: batched sources riding the doorbell-train
+machinery (windowed writability proofs, deferred doorbells) must deliver
+exactly what per-tuple pushes deliver — across tiny rings, mixed
+train/per-segment interleavings, replicate fan-out, and tuple sizes that
+disable trains entirely."""
+
+import pytest
+
+from repro.core import (
+    FLOW_END,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Schema,
+)
+from repro.simnet import Cluster
+
+
+def _schema(tuple_size):
+    if tuple_size <= 8:
+        return Schema(("key", "uint64"))
+    return Schema(("key", "uint64"), ("pad", tuple_size - 8))
+
+
+def _run_shuffle(push_fn, tuple_size=64, count=2048, options=None,
+                 seed=0):
+    """1:1 bandwidth shuffle; returns the consumed tuples in order."""
+    cluster = Cluster(node_count=2, seed=seed)
+    dfi = DfiRuntime(cluster)
+    schema = _schema(tuple_size)
+    dfi.init_shuffle_flow("train", [Endpoint(0, 0)], [Endpoint(1, 0)],
+                          schema, shuffle_key="key",
+                          options=options or FlowOptions())
+    pad = b"x" * (tuple_size - 8)
+    tuples = [(i, pad) if tuple_size > 8 else (i,) for i in range(count)]
+    received = []
+
+    def source_thread():
+        source = yield from dfi.open_source("train", 0)
+        yield from push_fn(source, schema, tuples)
+        yield from source.close()
+
+    def target_thread():
+        target = yield from dfi.open_target("train", 0)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                return
+            received.extend(batch)
+
+    cluster.env.process(source_thread())
+    cluster.env.process(target_thread())
+    cluster.run()
+    return received, cluster.now
+
+
+def _push_per_tuple(source, _schema, tuples):
+    for values in tuples:
+        yield from source.push(values)
+
+
+def _push_batched(source, _schema, tuples):
+    for start in range(0, len(tuples), 1024):
+        yield from source.push_batch(tuples[start:start + 1024],
+                                     target=0)
+
+
+def _push_bytes(source, schema, tuples):
+    slab = b"".join(schema.pack(values) for values in tuples)
+    yield from source.push_bytes(memoryview(slab), target=0)
+
+
+@pytest.mark.parametrize("push_fn", [_push_batched, _push_bytes])
+def test_train_paths_match_per_tuple_delivery(push_fn):
+    expected, _ = _run_shuffle(_push_per_tuple)
+    got, _ = _run_shuffle(push_fn)
+    assert got == expected
+
+
+@pytest.mark.parametrize("push_fn", [_push_batched, _push_bytes])
+def test_train_paths_on_tiny_ring(push_fn):
+    """target_segments=2 caps the writability window at 1: every train
+    degenerates to windowed proofs of a single slot and must still make
+    progress without deadlocking on the full ring."""
+    options = FlowOptions(target_segments=2, source_segments=2,
+                          credit_threshold=1)
+    expected, _ = _run_shuffle(_push_per_tuple, options=options)
+    got, _ = _run_shuffle(push_fn, options=options)
+    assert got == expected
+
+
+def test_mixed_train_and_per_tuple_interleaving():
+    """Alternating batched and per-tuple pushes exercises the stale-read
+    invalidation rules between the train path (windowed proofs) and the
+    per-segment path (pipelined footer pre-reads)."""
+    def mixed(source, _schema, tuples):
+        index = 0
+        while index < len(tuples):
+            yield from source.push_batch(tuples[index:index + 512],
+                                         target=0)
+            index += 512
+            for values in tuples[index:index + 64]:
+                yield from source.push(values)
+            index += 64
+
+    expected, _ = _run_shuffle(_push_per_tuple)
+    got, _ = _run_shuffle(mixed)
+    assert got == expected
+
+
+def test_non_divisible_tuple_size_falls_back():
+    """A tuple size that does not divide the segment payload disables
+    trains (a slot cannot leave as one contiguous payload+footer write);
+    delivery must still match per-tuple pushes."""
+    tuple_size = 48
+    expected, _ = _run_shuffle(_push_per_tuple, tuple_size=tuple_size,
+                               count=1024)
+    got, _ = _run_shuffle(_push_batched, tuple_size=tuple_size,
+                          count=1024)
+    assert got == expected
+
+
+def test_train_runs_are_deterministic():
+    first = _run_shuffle(_push_batched, seed=3)
+    second = _run_shuffle(_push_batched, seed=3)
+    assert first == second
+
+
+def test_close_after_train_flushes_partial_segment():
+    """A count that is not a multiple of the segment capacity leaves a
+    partial staging buffer behind the last train; close() must flush it
+    through the per-segment path."""
+    expected, _ = _run_shuffle(_push_per_tuple, count=2048 + 37)
+    got, _ = _run_shuffle(_push_batched, count=2048 + 37)
+    assert got == expected
+
+
+# -- replicate trains --------------------------------------------------------
+
+def _run_replicate(batched, tuple_size=256, count=1024):
+    cluster = Cluster(node_count=3, seed=0)
+    dfi = DfiRuntime(cluster)
+    schema = _schema(tuple_size)
+    dfi.init_replicate_flow(
+        "rep", [Endpoint(0, 0)], [Endpoint(1, 0), Endpoint(2, 0)],
+        schema, options=FlowOptions())
+    pad = b"x" * (tuple_size - 8)
+    tuples = [(i, pad) for i in range(count)]
+    received = {0: [], 1: []}
+
+    def source_thread():
+        source = yield from dfi.open_source("rep", 0)
+        if batched:
+            for start in range(0, count, 1024):
+                yield from source.push_batch(tuples[start:start + 1024])
+        else:
+            for values in tuples:
+                yield from source.push(values)
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("rep", index)
+        while True:
+            item = yield from target.consume()
+            if item is FLOW_END:
+                return
+            received[index].append(item)
+
+    cluster.env.process(source_thread())
+    for index in range(2):
+        cluster.env.process(target_thread(index))
+    cluster.run()
+    return received, cluster.now
+
+
+def test_replicate_trains_match_per_tuple_delivery():
+    expected, _ = _run_replicate(batched=False)
+    got, _ = _run_replicate(batched=True)
+    assert got == expected
+    assert got[0] == got[1]  # both replicas see the full stream
