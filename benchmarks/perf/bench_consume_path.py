@@ -87,6 +87,9 @@ def _run_consume(tuple_size: int, total_bytes: int, mode: str) -> dict:
     """
     source_nodes = 8
     cluster = Cluster(node_count=source_nodes + 1)
+    # The registry is the tally (see bench_push_path.py): bench output
+    # and the telemetry plane can never disagree.
+    cluster.enable_observability()
     dfi = DfiRuntime(cluster)
     schema = _schema(tuple_size)
     dfi.init_shuffle_flow(
@@ -142,10 +145,12 @@ def _run_consume(tuple_size: int, total_bytes: int, mode: str) -> dict:
     cluster.run()
     wall = time.perf_counter() - wall_start
     assert consumed[0] == per_source * source_nodes, consumed[0]
+    drained = cluster.node(0).metrics.get("core.tuples_consumed")
+    assert drained == consumed[0], (drained, consumed[0])
     return {
         "scenario": f"consume-8to1-{tuple_size}B-{mode}",
         "tuple_size": tuple_size,
-        "tuples": consumed[0],
+        "tuples": drained,
         "mode": mode,
         "wall_seconds": wall,
         "tuples_per_sec": consumed[0] / wall,
@@ -157,6 +162,7 @@ def _run_end_to_end(tuple_size: int, total_bytes: int, batched: bool) -> dict:
     """1:1 push->consume pipeline: both endpoints on their fast (or slow)
     path — the number an application actually experiences."""
     cluster = Cluster(node_count=2)
+    cluster.enable_observability()
     dfi = DfiRuntime(cluster)
     schema = _schema(tuple_size)
     dfi.init_shuffle_flow("e2e", [Endpoint(0, 0)], [Endpoint(1, 0)],
@@ -203,6 +209,7 @@ def _run_end_to_end(tuple_size: int, total_bytes: int, batched: bool) -> dict:
     cluster.run()
     wall = time.perf_counter() - wall_start
     assert consumed[0] == count
+    assert cluster.node(1).metrics.get("core.tuples_consumed") == count
     mode = "batched" if batched else "per-tuple"
     return {
         "scenario": f"e2e-1to1-{tuple_size}B-{mode}",
@@ -219,6 +226,7 @@ def _run_combiner(total_bytes: int) -> dict:
     """4:1 combiner SUM: measures the batch-fold loop on top of the
     drain path."""
     cluster = Cluster(node_count=5)
+    cluster.enable_observability()
     dfi = DfiRuntime(cluster)
     schema = Schema(("group", "uint64"), ("value", "uint64"))
     dfi.init_combiner_flow(
@@ -250,10 +258,12 @@ def _run_combiner(total_bytes: int) -> dict:
     cluster.run()
     wall = time.perf_counter() - wall_start
     assert sum(out["aggregates"].values()) == out["tuples"]
+    folded = cluster.node(0).metrics.get("core.tuples_aggregated")
+    assert folded == out["tuples"], (folded, out["tuples"])
     return {
         "scenario": "combiner-4to1-16B-fold",
         "tuple_size": schema.tuple_size,
-        "tuples": out["tuples"],
+        "tuples": folded,
         "mode": "fold",
         "wall_seconds": wall,
         "tuples_per_sec": out["tuples"] / wall,

@@ -80,6 +80,9 @@ def _run_qp(total_bytes: int, mode: str) -> dict:
     write_size = 8192
     train_len = 16
     cluster = Cluster(node_count=2)
+    # The registry is the tally (see bench_push_path.py): bench output
+    # and the telemetry plane can never disagree.
+    cluster.enable_observability()
     nic0 = get_nic(cluster.node(0))
     nic1 = get_nic(cluster.node(1))
     remote = nic1.register_memory(write_size * train_len)
@@ -114,7 +117,8 @@ def _run_qp(total_bytes: int, mode: str) -> dict:
     wall_start = time.perf_counter()
     cluster.run()
     wall = time.perf_counter() - wall_start
-    writes = rounds * train_len
+    writes = cluster.node(0).metrics.get("rdma.wqes_posted")
+    assert writes == rounds * train_len, (writes, rounds * train_len)
     return {
         "scenario": f"qp-16x8KiB-{mode}",
         "tuple_size": write_size,
@@ -137,6 +141,7 @@ def _run_push(tuple_size: int, total_bytes: int, mode: str) -> dict:
       multi-segment trains).
     """
     cluster = Cluster(node_count=2)
+    cluster.enable_observability()
     dfi = DfiRuntime(cluster)
     schema = _schema(tuple_size)
     dfi.init_shuffle_flow("bell", [Endpoint(0, 0)], [Endpoint(1, 0)],
@@ -181,10 +186,12 @@ def _run_push(tuple_size: int, total_bytes: int, mode: str) -> dict:
     cluster.run()
     wall = time.perf_counter() - wall_start
     assert consumed[0] == count, consumed[0]
+    pushed = cluster.node(0).metrics.get("core.tuples_pushed")
+    assert pushed == count, (pushed, count)
     return {
         "scenario": f"push-1to1-{tuple_size}B-{mode}",
         "tuple_size": tuple_size,
-        "tuples": count,
+        "tuples": pushed,
         "mode": mode,
         "wall_seconds": wall,
         "tuples_per_sec": count / wall,
@@ -197,6 +204,7 @@ def _run_replicate(tuple_size: int, total_bytes: int) -> dict:
     fans out through ``FooterRingWriter.write_segments`` trains."""
     target_nodes = 2
     cluster = Cluster(node_count=1 + target_nodes)
+    cluster.enable_observability()
     dfi = DfiRuntime(cluster)
     schema = _schema(tuple_size)
     dfi.init_replicate_flow(
@@ -236,10 +244,14 @@ def _run_replicate(tuple_size: int, total_bytes: int) -> dict:
     cluster.run()
     wall = time.perf_counter() - wall_start
     assert received[0] == count * target_nodes, received[0]
+    delivered = sum(
+        cluster.node(1 + n).metrics.get("core.tuples_consumed")
+        for n in range(target_nodes))
+    assert delivered == received[0], (delivered, received[0])
     return {
         "scenario": f"replicate-1to{target_nodes}-{tuple_size}B-batched",
         "tuple_size": tuple_size,
-        "tuples": received[0],
+        "tuples": delivered,
         "mode": "batched",
         "wall_seconds": wall,
         "tuples_per_sec": received[0] / wall,

@@ -1,0 +1,253 @@
+"""Wall-clock overhead of the observability plane (``repro.obs``).
+
+Runs the same 64 B batched 1:8 bandwidth shuffle three times — metrics
+off, counters on, counters+tracing on — and reports the wall-clock
+overhead ratio of each enabled mode against the off run. The simulated
+elapsed ns must be bit-identical across all three modes (the
+``repro.obs`` determinism contract); the run asserts it.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_obs_overhead.py
+
+Emits ``benchmarks/perf/BENCH_obs.json``. The PR-5 acceptance bar is
+counters-on within 5% of metrics-off on the batched hot path; the run
+prints the measured ratios and flags misses, and ``--check`` compares a
+fresh run against a committed JSON (report-only, exit 0 either way — CI
+runners vary too much in speed for a hard gate). ``--trace-out FILE``
+additionally exports the tracing run as a Chrome ``trace_event`` JSON
+loadable in Perfetto.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from profutil import maybe_profiled  # noqa: E402
+
+from repro.core import (  # noqa: E402
+    FLOW_END,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Schema,
+)
+from repro.simnet import Cluster  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUTPUT = os.path.join(HERE, "BENCH_obs.json")
+
+#: Number of timed repetitions per mode; the best (max tuples/s) is
+#: reported, same convention as the other hot-path benches.
+REPS = int(os.environ.get("BENCH_OBS_REPS", 3))
+
+#: Acceptance target: counters-on wall-clock within this factor of
+#: metrics-off (ISSUE 5 — "at most one attribute check when disabled,
+#: <=5% with counters on").
+COUNTERS_TARGET = 1.05
+
+MODES = ("off", "counters", "trace")
+
+
+def _run_shuffle(mode: str, total_bytes: int,
+                 trace_out: "str | None" = None) -> dict:
+    """One 1:8 batched 64 B shuffle; ``mode`` selects the obs plane state."""
+    target_nodes = 8
+    tuple_size = 64
+    cluster = Cluster(node_count=1 + target_nodes)
+    if mode == "counters":
+        cluster.enable_observability()
+    elif mode == "trace":
+        cluster.enable_observability(trace=True)
+    dfi = DfiRuntime(cluster)
+    schema = Schema(("key", "uint64"), ("pad", tuple_size - 8))
+    dfi.init_shuffle_flow(
+        "bench", [Endpoint(0, 0)],
+        [Endpoint(1 + n, 0) for n in range(target_nodes)],
+        schema, shuffle_key="key", options=FlowOptions())
+    count = total_bytes // tuple_size
+    pad = b"x" * (tuple_size - 8)
+    window = {"start": None, "end": 0.0}
+    consumed = [0]
+
+    def source_thread():
+        source = yield from dfi.open_source("bench", 0)
+        window["start"] = cluster.now
+        pushed = 0
+        while pushed < count:
+            n = min(1024, count - pushed)
+            batch = [(i, pad) for i in range(pushed, pushed + n)]
+            yield from source.push_batch(batch)
+            pushed += n
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("bench", index)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                window["end"] = max(window["end"], cluster.now)
+                return
+            consumed[0] += len(batch)
+
+    cluster.env.process(source_thread())
+    for n in range(target_nodes):
+        cluster.env.process(target_thread(n))
+    # GC off during the timed region: collection pauses triggered by the
+    # *previous* run's garbage would otherwise bill one mode for another
+    # mode's allocations (order-of-2% noise on this measurement).
+    gc.collect()
+    gc.disable()
+    try:
+        wall_start = time.perf_counter()
+        cluster.run()
+        wall = time.perf_counter() - wall_start
+    finally:
+        gc.enable()
+    assert consumed[0] == count, consumed[0]
+    entry = {
+        "mode": mode,
+        "tuple_size": tuple_size,
+        "tuples": count,
+        "wall_seconds": wall,
+        "tuples_per_sec": count / wall,
+        "simulated_elapsed_ns": window["end"] - window["start"],
+    }
+    if mode != "off":
+        # The registry must agree exactly with the ground truth the
+        # bench already knows — telemetry and bench output can never
+        # disagree (satellite contract).
+        snapshot = cluster.metrics_snapshot()["nodes"]
+        pushed = snapshot[0]["counters"]["core.tuples_pushed"]
+        assert pushed == count, (pushed, count)
+        drained = sum(snapshot[n]["counters"]["core.tuples_consumed"]
+                      for n in range(1, 1 + target_nodes))
+        assert drained == count, (drained, count)
+        entry["registry_tuples_pushed"] = pushed
+        entry["registry_tuples_consumed"] = drained
+    if mode == "trace":
+        entry["trace_events"] = sum(
+            tracer.emitted for tracer in cluster.obs.tracers.values())
+        if trace_out:
+            from repro.obs import export_chrome_trace
+            export_chrome_trace(cluster, trace_out)
+    return entry
+
+
+def run_all(total_bytes: int, trace_out: "str | None" = None) -> dict:
+    results = {"bench": "obs_overhead", "total_bytes": total_bytes,
+               "reps": REPS, "counters_target": COUNTERS_TARGET,
+               "scenarios": []}
+    # Warm the interpreter on a small run of each mode before timing.
+    warm = min(total_bytes, 256 << 10)
+    for mode in MODES:
+        _run_shuffle(mode, warm)
+    # Interleave reps round-robin rather than running each mode's reps
+    # back-to-back: host speed drifts on a seconds timescale (frequency
+    # scaling, thermal state, noisy neighbours), and the order within a
+    # round rotates so no mode systematically inherits the allocator and
+    # cache state of another. Each mode reports its best (minimum-wall)
+    # run, the timeit convention: scheduling noise on a shared host only
+    # ever *adds* time, so the minimum over enough reps is the robust
+    # estimator of a mode's true cost, and the overhead ratio compares
+    # the minima. (Mean- or median-of-ratio estimators were tried first
+    # and drowned: their spread across identical back-to-back bench
+    # invocations exceeded the 5% effect being measured.)
+    runs: dict = {}
+    for rep_index in range(REPS):
+        rotation = rep_index % len(MODES)
+        for mode in MODES[rotation:] + MODES[:rotation]:
+            rep = _run_shuffle(
+                mode, total_bytes,
+                trace_out if mode == "trace" and rep_index == 0 else None)
+            best = runs.get(mode)
+            if best is None:
+                runs[mode] = rep
+            else:
+                assert (rep["simulated_elapsed_ns"]
+                        == best["simulated_elapsed_ns"]), (
+                    mode, rep["simulated_elapsed_ns"],
+                    best["simulated_elapsed_ns"])
+                if rep["wall_seconds"] < best["wall_seconds"]:
+                    runs[mode] = rep
+    for mode in MODES:
+        runs[mode]["reps"] = REPS
+    # Determinism: the simulated timeline must not move when telemetry
+    # is recorded (the fingerprint harness proves this across all bench
+    # families; this is the in-run assert for the measured scenario).
+    sim = {runs[mode]["simulated_elapsed_ns"] for mode in MODES}
+    assert len(sim) == 1, runs
+    off = runs["off"]["wall_seconds"]
+    for mode in MODES:
+        entry = runs[mode]
+        entry["overhead_vs_off"] = entry["wall_seconds"] / off
+        results["scenarios"].append(entry)
+        note = ""
+        if mode == "counters":
+            ok = entry["overhead_vs_off"] <= COUNTERS_TARGET
+            note = ("  [<=5% target met]" if ok
+                    else f"  [ABOVE {COUNTERS_TARGET:.2f}x target]")
+        print(f"obs-overhead 64B batched 1:8 {mode:>8}: "
+              f"{entry['tuples_per_sec']:12.0f} tuples/s wall, "
+              f"{entry['overhead_vs_off']:5.3f}x vs off{note}")
+    return results
+
+
+def check_against(committed_path: str, fresh: dict) -> None:
+    """Report-only check of a fresh run against a committed JSON: flags
+    overhead-ratio drift beyond +-20% and counters-target misses."""
+    with open(committed_path) as fh:
+        committed = json.load(fh)
+    baseline = {entry["mode"]: entry
+                for entry in committed.get("scenarios", [])}
+    print(f"\n--- obs-overhead check vs {committed_path} (report-only) ---")
+    for entry in fresh["scenarios"]:
+        ref = baseline.get(entry["mode"])
+        if ref is None:
+            print(f"{entry['mode']:>8}: NEW (no committed baseline)")
+            continue
+        drift = entry["overhead_vs_off"] / ref["overhead_vs_off"]
+        verdict = "ok" if 0.8 <= drift <= 1.2 else "DRIFT?"
+        print(f"{entry['mode']:>8}: overhead {entry['overhead_vs_off']:.3f}x "
+              f"(committed {ref['overhead_vs_off']:.3f}x)  [{verdict}]")
+    counters = next((e for e in fresh["scenarios"]
+                     if e["mode"] == "counters"), None)
+    if counters is not None and counters["overhead_vs_off"] > COUNTERS_TARGET:
+        print(f"counters-on overhead {counters['overhead_vs_off']:.3f}x "
+              f"exceeds the {COUNTERS_TARGET:.2f}x target (informational; "
+              f"host speed varies across runners)")
+    print("--- end obs-overhead check ---")
+
+
+def main() -> None:
+    total_bytes = int(os.environ.get("BENCH_OBS_BYTES", 4 << 20))
+    args = sys.argv[1:]
+    check_path = None
+    trace_out = None
+    if "--trace-out" in args:
+        i = args.index("--trace-out")
+        trace_out = args[i + 1]
+        args = args[:i] + args[i + 2:]
+    if args and args[0] == "--check":
+        check_path = args[1] if len(args) > 1 else OUTPUT
+        args = args[2:]
+    results = run_all(total_bytes, trace_out)
+    if trace_out:
+        print(f"wrote {trace_out}")
+    if check_path is not None:
+        check_against(check_path, results)
+        return  # report-only: never rewrites the committed JSON
+    with open(OUTPUT, "w") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    maybe_profiled(main)

@@ -21,6 +21,12 @@ when no faults are scheduled.
 bit-exactly against a previously captured JSON: any drift on a key the
 baseline knows fails (exit 1); keys only the fresh run has are reported
 as new (coverage growth, not drift).
+
+``--with-obs`` runs the whole fingerprint three times — bare, with the
+observability plane (counters **and** tracing) enabled on every cluster,
+and with observability plus an empty ``FaultPlan`` — and fails (exit 1)
+on any difference: recording telemetry must never move simulated time
+(the ``repro.obs`` determinism contract, see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -228,6 +234,41 @@ def check_fault_neutral() -> int:
     return 0
 
 
+def check_with_obs() -> int:
+    """Assert counters + tracing leave the fingerprint bit-identical,
+    alone and stacked on top of an (empty) fault plane."""
+    from repro import obs
+    from repro.simnet import FaultPlan, faults
+
+    bare = collect()
+    obs.set_default_observability(True, trace=True)
+    try:
+        with_obs = collect()
+        faults.set_default_plan(FaultPlan())
+        try:
+            with_obs_faults = collect()
+        finally:
+            faults.set_default_plan(None)
+    finally:
+        obs.set_default_observability(False)
+
+    status = 0
+    for label, probe in (("counters+tracing", with_obs),
+                         ("counters+tracing+fault-plane", with_obs_faults)):
+        drifted = [key for key in bare if bare[key] != probe.get(key)]
+        if drifted:
+            status = 1
+            print(f"OBS-NEUTRALITY VIOLATION ({label}) moved simulated "
+                  f"metrics:")
+            for key in drifted:
+                print(f"  {key}: bare={bare[key]!r} "
+                      f"with-obs={probe.get(key)!r}")
+        else:
+            print(f"obs-neutral ({label}): {len(bare)} metrics "
+                  f"bit-identical")
+    return status
+
+
 def check_baseline(path: str) -> int:
     """Bit-exact compare a fresh fingerprint against a captured JSON."""
     with open(path) as fh:
@@ -254,6 +295,8 @@ def main() -> None:
     args = sys.argv[1:]
     if "--check-fault-neutral" in args:
         sys.exit(check_fault_neutral())
+    if "--with-obs" in args:
+        sys.exit(check_with_obs())
     if args and args[0] == "--check":
         if len(args) < 2:
             print("usage: fingerprint.py --check <baseline.json>")

@@ -98,9 +98,13 @@ def demo_ordered_replicate() -> None:
 
 
 def demo_combiner() -> None:
-    """N:1 combiner flow: a distributed SUM grouped by key."""
+    """N:1 combiner flow: a distributed SUM grouped by key — with the
+    observability plane on, so the tour ends with a metrics report."""
     print("=== combiner flow (3 sources -> 1 target, SUM group-by) ===")
     cluster = Cluster(node_count=4)
+    # Telemetry (docs/observability.md): enable before opening endpoints;
+    # the simulated results are bit-identical either way.
+    cluster.enable_observability()
     dfi = DfiRuntime(cluster)
     dfi.init_combiner_flow(
         "sum", ["node1|0", "node2|0", "node3|0"], "node0|0", SCHEMA,
@@ -122,7 +126,12 @@ def demo_combiner() -> None:
         cluster.env.process(source(i))
     cluster.env.process(target(cluster.env))
     cluster.run()
-    print(f"  SUM(value) GROUP BY key over 900 tuples: {result}")
+    print(f"  SUM(value) GROUP BY key over 900 tuples: {result}\n")
+
+    # What the telemetry plane saw: per-node flow counters plus the
+    # always-on NIC/link/fabric tallies, as one text table.
+    from repro.obs import render_report
+    print(render_report(cluster.metrics_snapshot()))
 
 
 if __name__ == "__main__":

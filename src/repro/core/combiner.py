@@ -72,6 +72,8 @@ class CombinerTarget:
         self._aggregates: dict = {}
         self._fold_batch = self._build_batch_fold()
         self.tuples_aggregated = 0
+        #: Observability registry of the target node (``None`` when off).
+        self._metrics = self.node.metrics
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str) -> "CombinerTarget":
@@ -154,6 +156,8 @@ class CombinerTarget:
                 return self._aggregates
             fold_batch(batch)
             self.tuples_aggregated += len(batch)
+            if self._metrics is not None:
+                self._metrics.inc("core.tuples_aggregated", len(batch))
 
     def consume_step(self):
         """Generator: fold in the next available batch of tuples.
@@ -167,6 +171,8 @@ class CombinerTarget:
             return FLOW_END
         self._fold_batch(batch)
         self.tuples_aggregated += len(batch)
+        if self._metrics is not None:
+            self._metrics.inc("core.tuples_aggregated", len(batch))
         return len(batch)
 
     @property

@@ -91,6 +91,12 @@ class FlowOptions:
     #: failed target's share onto the survivors (requires a hash/routing
     #: key — round-robin and key-routed flows only).
     on_target_failure: str = "abort"
+    #: Event tracing for this flow (see ``repro.obs``): ``None``/``False``
+    #: off, ``True`` on with the default ring capacity, an ``int`` on
+    #: with that many retained events. Opening a traced endpoint enables
+    #: the cluster's observability plane if it is not already on; tracing
+    #: never perturbs the simulated timeline.
+    trace: "bool | int | None" = None
 
     def __post_init__(self) -> None:
         if self.segment_size <= 0:
@@ -112,6 +118,10 @@ class FlowOptions:
         if self.on_target_failure not in ("abort", "reroute"):
             raise ConfigurationError(
                 "on_target_failure must be 'abort' or 'reroute'")
+        if (self.trace is not None and not isinstance(self.trace, bool)
+                and (not isinstance(self.trace, int) or self.trace < 1)):
+            raise ConfigurationError(
+                "trace must be None, a bool, or a positive ring capacity")
 
 
 @dataclass(frozen=True)

@@ -55,6 +55,15 @@ from repro.core.segment import (
 )
 from repro.core.shuffle import ShuffleTarget, _RingWriteWaiter
 from repro.core.writers import CreditRingWriter, FooterRingWriter
+from repro.obs import (
+    FAULT_DETECT,
+    FLOW_CLOSE,
+    REROUTE,
+    RETRANSMIT,
+    SEG_CONSUME,
+    SEG_WRITE,
+    endpoint_obs,
+)
 from repro.rdma.nic import get_nic
 from repro.rdma.qp import UD_MTU
 
@@ -230,6 +239,9 @@ class NaiveReplicateSource:
         self.segments_sent = 0
         self.tuples_sent = 0
         self.closed = False
+        self._metrics, self._tracer = endpoint_obs(
+            self.node, descriptor.name, descriptor.options)
+        self._tid = f"src{source_index}"
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str, source_index: int):
@@ -265,6 +277,8 @@ class NaiveReplicateSource:
             raise FlowClosedError("push on a closed replicate source")
         self._staging.append(values)
         self.tuples_sent += 1
+        if self._metrics is not None:
+            self._metrics.inc("core.tuples_pushed")
         self._cpu_debt += (self.profile.cpu_tuple_overhead
                            + self.descriptor.schema.tuple_size
                            * self.profile.cpu_copy_per_byte)
@@ -293,6 +307,8 @@ class NaiveReplicateSource:
                      + self.descriptor.schema.tuple_size
                      * self.profile.cpu_copy_per_byte)
         total = len(tuples)
+        if total and self._metrics is not None:
+            self._metrics.inc("core.tuples_pushed", total)
         index = 0
         if self._train_ok and self._sequencer is None:
             payloads = []
@@ -324,6 +340,9 @@ class NaiveReplicateSource:
             return
         work_requests = yield from self._flush(FLAG_CLOSED)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.node.env.now, FLOW_CLOSE,
+                              self.node.node_id, self._tid, None)
         failures = []
         for index, wr in work_requests:
             try:
@@ -346,6 +365,10 @@ class NaiveReplicateSource:
         self._staging.take()  # discard staged tuples
         work_requests = yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.node.env.now, FLOW_CLOSE,
+                              self.node.node_id, self._tid,
+                              {"aborted": True})
         for _index, wr in work_requests:
             try:
                 if not wr.done.triggered:
@@ -378,6 +401,14 @@ class NaiveReplicateSource:
                 continue
             work_requests.append((index, wr))
         self.segments_sent += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.segments_flushed")
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.node.env.now, SEG_WRITE,
+                            self.node.node_id, self._tid,
+                            {"seq": seq, "bytes": len(payload)})
         for index, exc in failures:
             yield from self._handle_writer_failure(index, exc)
         return work_requests
@@ -404,6 +435,8 @@ class NaiveReplicateSource:
             except (QpFlushedError, FlowTimeoutError) as exc:
                 failures.append((index, exc))
         self.segments_sent += len(payloads)
+        if self._metrics is not None:
+            self._metrics.inc("core.segments_flushed", len(payloads))
         for index, exc in failures:
             yield from self._handle_writer_failure(index, exc)
 
@@ -421,13 +454,28 @@ class NaiveReplicateSource:
         peer_dead = (isinstance(exc, QpFlushedError)
                      or (faults is not None and faults.active
                          and faults.peer_failed(self.node, peer)))
+        metrics, tracer = self._metrics, self._tracer
+        if metrics is not None:
+            metrics.inc("core.target_failures")
         if not peer_dead:
             # A stall without evidence of peer death (backoff budget
             # exhausted against a live but wedged target) surfaces the
             # original error unchanged.
             raise exc
+        now = self.node.env.now
+        if metrics is not None:
+            metrics.inc("core.peer_failures_detected")
+        if tracer is not None:
+            tracer.emit(now, FAULT_DETECT, self.node.node_id, self._tid,
+                        {"target": index, "peer_node": peer.node_id,
+                         "cause": type(exc).__name__})
         if (self.descriptor.options.on_target_failure == "reroute"
                 and len(self._failed) < len(self._writers)):
+            if metrics is not None:
+                metrics.inc("core.reroutes")
+            if tracer is not None:
+                tracer.emit(now, REROUTE, self.node.node_id, self._tid,
+                            {"target": index})
             return  # keep replicating to the survivors
         yield from self._abort_survivors()
         raise FlowPeerFailedError(
@@ -559,6 +607,21 @@ class MulticastReplicateSource:
         self.tuples_sent = 0
         self.retransmissions = 0
         self.closed = False
+        self._metrics, self._tracer = endpoint_obs(
+            self.node, descriptor.name, descriptor.options)
+        self._tid = f"src{source_index}"
+
+    def _note_retransmit(self, seq: "int | None") -> None:
+        """Count one multicast retransmission (local tally + registry)."""
+        self.retransmissions += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.retransmits")
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.env.now, RETRANSMIT, self.node.node_id,
+                            self._tid,
+                            None if seq is None else {"seq": seq})
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str, source_index: int):
@@ -612,7 +675,7 @@ class MulticastReplicateSource:
             slot = self._retransmit.get(seq)
             if slot is not None:
                 self._ud_qp.post_send_multicast(self._group, slot)
-                self.retransmissions += 1
+                self._note_retransmit(seq)
             # Clear the NACK slot directly (our own memory; a hook-free
             # write so we do not wake ourselves).
             self._control.mem[offset:offset + 8] = b"\x00" * 8
@@ -640,6 +703,8 @@ class MulticastReplicateSource:
         stalled_rounds = 0
         floor = self._min_credit()
         while self.segments_sent - self._min_credit() >= self._window:
+            if self._metrics is not None:
+                self._metrics.inc("core.credit_stalls")
             self._service_nacks()
             event = self._waiter.arm()
             if self.segments_sent - self._min_credit() < self._window:
@@ -671,8 +736,21 @@ class MulticastReplicateSource:
         floor = min(self._target_credit(t) for t in live)
         stalled = [t for t in live if self._target_credit(t) == floor]
         self._failed_targets.update(stalled)
+        metrics, tracer = self._metrics, self._tracer
+        if metrics is not None:
+            metrics.inc("core.target_failures", len(stalled))
+            metrics.inc("core.peer_failures_detected", len(stalled))
+        if tracer is not None:
+            tracer.emit(self.env.now, FAULT_DETECT, self.node.node_id,
+                        self._tid, {"targets": stalled,
+                                    "cause": "credit_stall"})
         if (self.descriptor.options.on_target_failure == "reroute"
                 and len(stalled) < len(live)):
+            if metrics is not None:
+                metrics.inc("core.reroutes")
+            if tracer is not None:
+                tracer.emit(self.env.now, REROUTE, self.node.node_id,
+                            self._tid, {"targets": stalled})
             return
         yield from self._abort_for_failure()
         raise FlowPeerFailedError(
@@ -696,6 +774,8 @@ class MulticastReplicateSource:
             raise FlowClosedError("push on a closed replicate source")
         self._staging.append(values)
         self.tuples_sent += 1
+        if self._metrics is not None:
+            self._metrics.inc("core.tuples_pushed")
         self._cpu_debt += (self.profile.cpu_tuple_overhead
                            + self.descriptor.schema.tuple_size
                            * self.profile.cpu_copy_per_byte)
@@ -720,6 +800,8 @@ class MulticastReplicateSource:
                      + self.descriptor.schema.tuple_size
                      * self.profile.cpu_copy_per_byte)
         total = len(tuples)
+        if total and self._metrics is not None:
+            self._metrics.inc("core.tuples_pushed", total)
         index = 0
         while index < total:
             take = min(self._staging.room, total - index)
@@ -749,8 +831,11 @@ class MulticastReplicateSource:
                     break
                 self._ud_qp.post_send_multicast(self._group,
                                                 self._close_slot)
-                self.retransmissions += 1
+                self._note_retransmit(None)
             self.closed = True
+            if self._tracer is not None:
+                self._tracer.emit(self.env.now, FLOW_CLOSE,
+                                  self.node.node_id, self._tid, None)
             return
         total = self.segments_sent
         limit = self.descriptor.options.max_retransmits
@@ -787,10 +872,13 @@ class MulticastReplicateSource:
                 # every target has caught up.
                 self._ud_qp.post_send_multicast(self._group,
                                                 self._close_slot)
-                self.retransmissions += 1
+                self._note_retransmit(None)
                 resend_deadline = (self.env.now + self.descriptor.options
                                    .retransmit_timeout)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.env.now, FLOW_CLOSE,
+                              self.node.node_id, self._tid, None)
 
     def abort(self):
         """Generator: abort the flow — the marker is re-multicast a few
@@ -807,8 +895,11 @@ class MulticastReplicateSource:
             yield self.env.timeout(
                 self.descriptor.options.retransmit_timeout)
             self._ud_qp.post_send_multicast(self._group, abort_slot)
-            self.retransmissions += 1
+            self._note_retransmit(None)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.env.now, FLOW_CLOSE, self.node.node_id,
+                              self._tid, {"aborted": True})
 
     def _flush(self, extra_flags: int):
         debt = self._cpu_debt + self.profile.cpu_post_cost
@@ -831,6 +922,13 @@ class MulticastReplicateSource:
             self._close_slot = slot
         self._ud_qp.post_send_multicast(self._group, slot)
         self.segments_sent += 1
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.segments_flushed")
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.env.now, SEG_WRITE, self.node.node_id,
+                            self._tid, {"seq": seq, "bytes": len(payload)})
         self._service_nacks()
 
     @property
@@ -877,6 +975,9 @@ class MulticastReplicateTarget:
         self._peer_timeout = descriptor.options.peer_timeout
         self._waiter = _RingWriteWaiter(self.env, [ring_region])
         self.tuples_received = 0
+        self._metrics, self._tracer = endpoint_obs(
+            self.node, descriptor.name, descriptor.options)
+        self._tid = f"tgt{target_index}"
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str, target_index: int):
@@ -947,23 +1048,40 @@ class MulticastReplicateTarget:
             return
         tracker = self._trackers[source]
         if not tracker.add(footer.seq):
+            if self._metrics is not None:
+                self._metrics.inc("core.duplicates_dropped")
             return  # duplicate (late retransmission)
         self._bump_credit(source)
         if footer.closed:
             self._close_seq[source] = footer.seq
         self._ready.extend(tuples)
         self.tuples_received += len(tuples)
+        if self._metrics is not None:
+            self._note_delivery(footer.seq, len(tuples))
+
+    def _note_delivery(self, seq: int, tuples: int) -> None:
+        """Registry/trace bookkeeping for one delivered segment."""
+        metrics = self._metrics
+        metrics.inc("core.segments_consumed")
+        if tuples:
+            metrics.inc("core.tuples_consumed", tuples)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(self.env.now, SEG_CONSUME, self.node.node_id,
+                        self._tid, {"seq": seq, "tuples": tuples})
 
     def _drain_reorder(self) -> None:
         while True:
             ready = self._reorder.pop_ready()
             if ready is None:
                 return
-            _seq, (_source, closed, tuples) = ready
+            seq, (_source, closed, tuples) = ready
             if closed:
                 self._closed_delivered += 1
             self._ready.extend(tuples)
             self.tuples_received += len(tuples)
+            if self._metrics is not None:
+                self._note_delivery(seq, len(tuples))
 
     def _bump_credit(self, source: int) -> None:
         self._consumed[source] += 1
@@ -1007,7 +1125,11 @@ class MulticastReplicateTarget:
         if self._gap_notify:
             source = None if scope == "global" else scope
             self._gap_pending = GapNotification(missing, source)
+            if self._metrics is not None:
+                self._metrics.inc("core.gap_notifications")
             return
+        if self._metrics is not None:
+            self._metrics.inc("core.nacks_sent")
         # NACK the missing sequence number into the source's control region
         # (for globally ordered flows the owner is unknown, so every source
         # is notified; non-owners ignore it).
@@ -1087,9 +1209,19 @@ class MulticastReplicateTarget:
                         self.node, self.registry.cluster.node(
                             self.descriptor.sources[s].node_id))]
             if dead:
+                metrics = self._metrics
+                if metrics is not None:
+                    metrics.inc("core.peer_failures_detected", len(dead))
+                    tracer = self._tracer
+                    if tracer is not None:
+                        tracer.emit(self.env.now, FAULT_DETECT,
+                                    self.node.node_id, self._tid,
+                                    {"sources": dead})
                 raise FlowPeerFailedError(
                     f"source(s) {dead} of flow {self.descriptor.name!r} "
                     f"failed before closing the multicast stream")
+        if self._metrics is not None:
+            self._metrics.inc("core.consume_timeouts")
         raise FlowTimeoutError(
             f"no multicast progress on flow {self.descriptor.name!r} "
             f"within {self._peer_timeout} ns")

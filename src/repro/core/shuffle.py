@@ -52,6 +52,18 @@ from repro.core.segment import (
     pack_footer,
     pack_footer_into,
 )
+from repro.obs import (
+    BACKOFF,
+    CREDIT,
+    FAULT_DETECT,
+    FLOW_CLOSE,
+    FOOTER_POLL,
+    PREREAD,
+    REROUTE,
+    SEG_CONSUME,
+    SEG_WRITE,
+    endpoint_obs,
+)
 from repro.rdma.nic import get_nic
 
 if TYPE_CHECKING:
@@ -167,6 +179,23 @@ class BandwidthSourceChannel:
         self.segments_sent = 0
         #: Tuples pushed into this channel (stats).
         self.tuples_sent = 0
+        # Observability: cache the registry/tracer at construction so the
+        # disabled hot path pays one ``is None`` check (see repro.obs).
+        # The push/flush counters mirror the always-on tallies above, so
+        # they are harvested at read time instead of bumped per event.
+        self._metrics, self._tracer = endpoint_obs(
+            node, channel_tag[0], descriptor.options)
+        if self._metrics is not None:
+            self._metrics.add_collector(self._collect_obs)
+        plane = node.cluster.obs
+        self._pending_segments = (plane.pending_segments
+                                  if plane is not None else None)
+        self._tid = f"s{channel_tag[1]}->t{channel_tag[2]}"
+
+    def _collect_obs(self):
+        """Read-time counter harvest (see MetricsRegistry.add_collector)."""
+        return (("core.tuples_pushed", self.tuples_sent),
+                ("core.segments_flushed", self.segments_sent))
 
     @property
     def memory_bytes(self) -> int:
@@ -337,6 +366,9 @@ class BandwidthSourceChannel:
             return None
         wr = yield from self._flush(FLAG_CLOSED)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.env.now, FLOW_CLOSE,
+                              self.node.node_id, self._tid, None)
         return wr
 
     def abort(self):
@@ -347,6 +379,9 @@ class BandwidthSourceChannel:
         self._used = 0  # discard staged tuples: abort voids delivery
         wr = yield from self._flush(FLAG_CLOSED | FLAG_ABORTED)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.env.now, FLOW_CLOSE, self.node.node_id,
+                              self._tid, {"aborted": True})
         if not wr.done.triggered:
             yield wr.done
 
@@ -406,6 +441,15 @@ class BandwidthSourceChannel:
         if signaled:
             self._wrap_wr = wr
         self.segments_sent += 1
+        metrics = self._metrics
+        if metrics is not None:
+            now = self.env.now
+            self._pending_segments[
+                (self.remote.node_id, self.remote.rkey, self._seq)] = now
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(now, SEG_WRITE, self.node.node_id, self._tid,
+                            {"seq": self._seq, "bytes": self._used})
         self._seq += 1
         # Pipeline the footer pre-read of the *next* remote segment with
         # this write (paper Section 5.2).
@@ -460,8 +504,16 @@ class BandwidthSourceChannel:
             self._pending_footer_read = None
             if wr is not None:
                 window = 1
-            else:
-                wr = self._read_footer_ahead(window)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.preread_hits" if wr is not None
+                        else "core.preread_misses")
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.env.now, PREREAD, self.node.node_id,
+                            self._tid, {"hit": wr is not None})
+        if wr is None:
+            wr = self._read_footer_ahead(window)
         attempt = 0
         while True:
             if wr.done.triggered:
@@ -476,10 +528,22 @@ class BandwidthSourceChannel:
                 raise FlowTimeoutError(
                     f"remote ring on node {self.remote.node_id} still "
                     f"full after {attempt} backoff rounds")
+            if metrics is not None:
+                metrics.inc("core.backoff_rounds")
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(self.env.now, BACKOFF, self.node.node_id,
+                                self._tid, {"attempt": attempt})
             yield self.env.timeout(full_ring_backoff(self._rng, attempt))
             attempt += 1
             window = self._train_window
             wr = self._read_footer_ahead(window)
+            if metrics is not None:
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(self.env.now, FOOTER_POLL,
+                                self.node.node_id, self._tid,
+                                {"attempt": attempt})
 
     def _train_stage_full_segment(self):
         """Stage one full staging slot as a doorbell-deferred WQE (payload
@@ -496,6 +560,15 @@ class BandwidthSourceChannel:
         if signaled:
             self._wrap_wr = wr
         self.segments_sent += 1
+        metrics = self._metrics
+        if metrics is not None:
+            now = self.env.now
+            self._pending_segments[
+                (self.remote.node_id, self.remote.rkey, self._seq)] = now
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(now, SEG_WRITE, self.node.node_id, self._tid,
+                            {"seq": self._seq, "train": True})
         self._seq += 1
         self._remote_index = (self._remote_index + 1
                               ) % self.remote.segment_count
@@ -545,6 +618,14 @@ class BandwidthSourceChannel:
     def _ensure_remote_writable(self):
         wr = self._pending_footer_read
         self._pending_footer_read = None
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.preread_hits" if wr is not None
+                        else "core.preread_misses")
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(self.env.now, PREREAD, self.node.node_id,
+                            self._tid, {"hit": wr is not None})
         if wr is None:
             wr = self._read_current_remote_footer()
         attempt = 0
@@ -562,6 +643,12 @@ class BandwidthSourceChannel:
                 raise FlowTimeoutError(
                     f"remote ring on node {self.remote.node_id} still "
                     f"full after {attempt} backoff rounds")
+            if metrics is not None:
+                metrics.inc("core.backoff_rounds")
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(self.env.now, BACKOFF, self.node.node_id,
+                                self._tid, {"attempt": attempt})
             yield self.env.timeout(full_ring_backoff(self._rng, attempt))
             attempt += 1
             wr = self._read_current_remote_footer()
@@ -604,9 +691,23 @@ class LatencySourceChannel:
         self._sent = 0
         self._cached_consumed = 0
         self._pending_credit_read = None
+        self._credit_read_issued = 0.0
         self.closed = False
         self.segments_sent = 0
         self.tuples_sent = 0
+        self._metrics, self._tracer = endpoint_obs(
+            node, channel_tag[0], descriptor.options)
+        if self._metrics is not None:
+            self._metrics.add_collector(self._collect_obs)
+        plane = node.cluster.obs
+        self._pending_segments = (plane.pending_segments
+                                  if plane is not None else None)
+        self._tid = f"s{channel_tag[1]}->t{channel_tag[2]}"
+
+    def _collect_obs(self):
+        """Read-time counter harvest (see MetricsRegistry.add_collector)."""
+        return (("core.tuples_pushed", self.tuples_sent),
+                ("core.segments_flushed", self.segments_sent))
 
     @property
     def memory_bytes(self) -> int:
@@ -683,6 +784,9 @@ class LatencySourceChannel:
         wr = self._write_slot(b"", FLAG_CONSUMABLE | FLAG_CLOSED,
                               signaled=True)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.env.now, FLOW_CLOSE,
+                              self.node.node_id, self._tid, None)
         return wr
 
     def abort(self):
@@ -696,6 +800,9 @@ class LatencySourceChannel:
             b"", FLAG_CONSUMABLE | FLAG_CLOSED | FLAG_ABORTED,
             signaled=True)
         self.closed = True
+        if self._tracer is not None:
+            self._tracer.emit(self.env.now, FLOW_CLOSE, self.node.node_id,
+                              self._tid, {"aborted": True})
         if not wr.done.triggered:
             yield wr.done
 
@@ -718,6 +825,15 @@ class LatencySourceChannel:
             self.remote.rkey,
             (self._sent % self.remote.segment_count) * self._remote_slot,
             signaled=signaled, assume_stable=True)
+        metrics = self._metrics
+        if metrics is not None:
+            now = self.env.now
+            self._pending_segments[
+                (self.remote.node_id, self.remote.rkey, self._sent)] = now
+            tracer = self._tracer
+            if tracer is not None:
+                tracer.emit(now, SEG_WRITE, self.node.node_id, self._tid,
+                            {"seq": self._sent, "bytes": used})
         self._sent += 1
         self.segments_sent += 1
         return wr
@@ -730,29 +846,52 @@ class LatencySourceChannel:
         return self._finish_slot(base, used, flags, signaled)
 
     def _refresh_credit_async(self) -> None:
+        if self._metrics is not None:
+            self._credit_read_issued = self.env.now
         self._pending_credit_read = self.qp.post_read(
             self._scratch, 0, self.remote.credit_rkey,
             self.remote.credit_offset, 8, signaled=False)
 
     def _acquire_credit(self):
+        metrics = self._metrics
         # Harvest a finished asynchronous refresh first.
         pending = self._pending_credit_read
         if pending is not None and pending.done.triggered:
             self._apply_credit(pending.done.value)
             self._pending_credit_read = None
+            if metrics is not None:
+                metrics.observe("core.credit_rtt",
+                                self.env.now - self._credit_read_issued)
         attempt = 0
         while self._available_credits <= 0:
+            if metrics is not None:
+                metrics.inc("core.credit_stalls")
             if self._pending_credit_read is None:
                 self._refresh_credit_async()
             data = yield self._pending_credit_read.done
             self._pending_credit_read = None
             self._apply_credit(data)
+            if metrics is not None:
+                metrics.observe("core.credit_rtt",
+                                self.env.now - self._credit_read_issued)
+                tracer = self._tracer
+                if tracer is not None:
+                    tracer.emit(self.env.now, CREDIT, self.node.node_id,
+                                self._tid,
+                                {"credits": self._available_credits})
             if self._available_credits <= 0:
                 if (self._max_retries is not None
                         and attempt >= self._max_retries):
                     raise FlowTimeoutError(
                         f"no credit from node {self.remote.node_id} "
                         f"after {attempt} backoff rounds")
+                if metrics is not None:
+                    metrics.inc("core.backoff_rounds")
+                    tracer = self._tracer
+                    if tracer is not None:
+                        tracer.emit(self.env.now, BACKOFF,
+                                    self.node.node_id, self._tid,
+                                    {"attempt": attempt})
                 yield self.env.timeout(
                     full_ring_backoff(self._rng, attempt))
                 attempt += 1
@@ -788,10 +927,46 @@ class TargetChannel:
         self.done = False
         self.aborted = False
         self.tuples_received = 0
+        self._metrics, self._tracer = endpoint_obs(
+            node, descriptor.name, descriptor.options)
+        if self._metrics is not None:
+            self._metrics.add_collector(self._collect_obs)
+        plane = node.cluster.obs
+        self._pending_segments = (plane.pending_segments
+                                  if plane is not None else None)
+        # Histograms cached lazily on first sample (per-segment sites are
+        # hot enough for the observe() name lookup to show in the bench).
+        self._seg_latency_hist = None
+        self._drain_hist = None
+        self._tid = f"t<-s{credit_offset // 8}"
+
+    def _collect_obs(self):
+        """Read-time counter harvest (see MetricsRegistry.add_collector)."""
+        return (("core.tuples_consumed", self.tuples_received),
+                ("core.segments_consumed", self._consumed))
 
     @property
     def memory_bytes(self) -> int:
         return self.ring.total_bytes
+
+    def _note_segment(self, seq: int, tuples: int, now: float) -> None:
+        """Per-segment metrics bookkeeping (called only with metrics on):
+        the write->consume latency pop and the SEG_CONSUME trace event
+        (the consume counters are harvested at read time from the
+        always-on ``tuples_received``/``_consumed`` tallies)."""
+        metrics = self._metrics
+        stamp = self._pending_segments.pop(
+            (self.node.node_id, self.ring.region.rkey, seq), None)
+        if stamp is not None:
+            hist = self._seg_latency_hist
+            if hist is None:
+                hist = self._seg_latency_hist = metrics.histogram(
+                    "core.seg_latency")
+            hist.record(now - stamp)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit(now, SEG_CONSUME, self.node.node_id, self._tid,
+                        {"seq": seq, "tuples": tuples})
 
     def poll(self):
         """Check the current segment; return ``(footer, tuples)`` (tuples
@@ -823,6 +998,8 @@ class TargetChannel:
         self._index = self.ring.next_index(self._index)
         self._consumed += 1
         self.tuples_received += len(tuples)
+        if self._metrics is not None:
+            self._note_segment(footer.seq, len(tuples), self.node.env.now)
         if self._track_credits:
             self._credit_region.write_u64(self._credit_offset,
                                           self._consumed)
@@ -850,6 +1027,11 @@ class TargetChannel:
         consumed = self._consumed
         per_segment_credits = (self._track_credits
                                and not self.credit_coalescing)
+        metrics = self._metrics
+        # A drain pass runs inside one event continuation, so sim time is
+        # constant across it — read the clock once, not per segment.
+        now = self.node.env.now if metrics is not None else 0.0
+        tuple_size = self.schema.tuple_size
         drained = 0
         received = 0
         while True:
@@ -869,6 +1051,13 @@ class TargetChannel:
                 tuples = unpack_rows(payload_view(index, used))
                 extend(tuples)
                 received += len(tuples)
+            if metrics is not None:
+                # Read the sequence number before the release blanks it.
+                self._note_segment(
+                    int.from_bytes(
+                        mem[footer_offset + 8:footer_offset + 16],
+                        "little"),
+                    used // tuple_size, now)
             mem[footer_offset:footer_offset + FOOTER_SIZE] = BLANK_FOOTER
             index += 1
             if index == segment_count:
@@ -883,6 +1072,12 @@ class TargetChannel:
             self._index = index
             self._consumed = consumed + drained
             self.tuples_received += received
+            if metrics is not None:
+                hist = self._drain_hist
+                if hist is None:
+                    hist = self._drain_hist = metrics.histogram(
+                        "core.drain_segments")
+                hist.record(drained)
             if self._track_credits and not per_segment_credits:
                 self._credit_region.write_u64(self._credit_offset,
                                               self._consumed)
@@ -906,6 +1101,9 @@ class TargetChannel:
         consumed = self._consumed
         per_segment_credits = (self._track_credits
                                and not self.credit_coalescing)
+        metrics = self._metrics
+        # Constant sim time across the pass — see :meth:`drain`.
+        now = self.node.env.now if metrics is not None else 0.0
         drained = 0
         received = 0
         while True:
@@ -924,6 +1122,12 @@ class TargetChannel:
             if used:
                 append(payload_view(index, used))
                 received += used // tuple_size
+            if metrics is not None:
+                self._note_segment(
+                    int.from_bytes(
+                        mem[footer_offset + 8:footer_offset + 16],
+                        "little"),
+                    used // tuple_size, now)
             mem[footer_offset:footer_offset + FOOTER_SIZE] = BLANK_FOOTER
             index += 1
             if index == segment_count:
@@ -938,6 +1142,12 @@ class TargetChannel:
             self._index = index
             self._consumed = consumed + drained
             self.tuples_received += received
+            if metrics is not None:
+                hist = self._drain_hist
+                if hist is None:
+                    hist = self._drain_hist = metrics.histogram(
+                        "core.drain_segments")
+                hist.record(drained)
             if self._track_credits and not per_segment_credits:
                 self._credit_region.write_u64(self._credit_offset,
                                               self._consumed)
@@ -1282,12 +1492,31 @@ class ShuffleSource:
         peer_dead = (isinstance(exc, QpFlushedError)
                      or (faults is not None and faults.active
                          and faults.peer_failed(self.node, peer)))
+        metrics, tracer = endpoint_obs(self.node, self.descriptor.name,
+                                       self.descriptor.options)
+        if metrics is not None:
+            metrics.inc("core.target_failures")
         if not peer_dead:
             # A stall, not a detected failure (e.g. a slow consumer ran
             # the retry budget out): surface the timeout unchanged.
             raise exc
+        now = self.node.env.now
+        if metrics is not None:
+            metrics.inc("core.peer_failures_detected")
+        if tracer is not None:
+            tracer.emit(now, FAULT_DETECT, self.node.node_id,
+                        f"src{self.source_index}",
+                        {"target": index, "peer_node": peer.node_id,
+                         "cause": type(exc).__name__})
         if (self._policy == "reroute" and self._router is not None
                 and self._live):
+            if metrics is not None:
+                metrics.inc("core.reroutes")
+            if tracer is not None:
+                tracer.emit(now, REROUTE, self.node.node_id,
+                            f"src{self.source_index}",
+                            {"target": index,
+                             "survivors": len(self._live)})
             return  # the survivors absorb the failed target's share
         yield from self._abort_survivors()
         raise FlowPeerFailedError(
@@ -1406,6 +1635,8 @@ class ShuffleTarget:
         pending = [index for index, channel in enumerate(self._channels)
                    if not channel.done]
         faults = self.node.cluster.faults
+        metrics, tracer = endpoint_obs(self.node, self.descriptor.name,
+                                       self.descriptor.options)
         if faults is not None and faults.active:
             dead = []
             for index in pending:
@@ -1414,9 +1645,18 @@ class ShuffleTarget:
                 if faults.peer_failed(self.node, peer):
                     dead.append(index)
             if dead:
+                if metrics is not None:
+                    metrics.inc("core.peer_failures_detected")
+                if tracer is not None:
+                    tracer.emit(self._env.now, FAULT_DETECT,
+                                self.node.node_id,
+                                f"tgt{self.target_index}",
+                                {"sources": dead})
                 raise FlowPeerFailedError(
                     f"flow {self.descriptor.name!r}: source(s) {dead} "
                     f"failed before closing their channels")
+        if metrics is not None:
+            metrics.inc("core.consume_timeouts")
         raise FlowTimeoutError(
             f"flow {self.descriptor.name!r}: no segment arrived within "
             f"{self._peer_timeout:.0f} ns; channels {pending} still open")

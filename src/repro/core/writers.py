@@ -55,6 +55,9 @@ class FooterRingWriter:
         self._train_window = max(1, handle.segment_count // 2)
         self._window_left = 0
         self._pending_window_read = None
+        #: Observability registry of the owning node (``None`` when the
+        #: plane is off — one attribute check per guarded site).
+        self._metrics = node.metrics
 
     def write_segment(self, payload: bytes, flags: int, seq: int,
                       source_index: int = 0):
@@ -100,6 +103,8 @@ class FooterRingWriter:
             self._signal_wr = wr
         self._since_signal += 1
         self.segments_written += 1
+        if self._metrics is not None:
+            self._metrics.inc("core.segments_written")
         next_index = (self._remote_index + 1) % self.handle.segment_count
         self._pending_read = self.qp.post_read(
             self._scratch, 0, self.handle.rkey,
@@ -155,6 +160,8 @@ class FooterRingWriter:
                                       ) % handle.segment_count
                 self._window_left -= 1
             index += take
+            if self._metrics is not None:
+                self._metrics.inc("core.segments_written", take)
             self.qp.ring_doorbell()
             # Any per-segment pre-read refers to a slot this train wrote.
             self._pending_read = None
@@ -175,8 +182,12 @@ class FooterRingWriter:
             self._pending_read = None
             if wr is not None:
                 window = 1
-            else:
-                wr = self._read_footer_ahead(window)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.preread_hits" if wr is not None
+                        else "core.preread_misses")
+        if wr is None:
+            wr = self._read_footer_ahead(window)
         attempt = 0
         while True:
             data = wr.done.value if wr.done.triggered else (yield wr.done)
@@ -188,6 +199,8 @@ class FooterRingWriter:
                 raise FlowTimeoutError(
                     f"remote ring on node {self.handle.node_id} still "
                     f"full after {attempt} backoff rounds")
+            if metrics is not None:
+                metrics.inc("core.backoff_rounds")
             yield self.env.timeout(full_ring_backoff(self._rng, attempt))
             attempt += 1
             window = self._train_window
@@ -203,6 +216,10 @@ class FooterRingWriter:
     def _ensure_writable(self):
         wr = self._pending_read
         self._pending_read = None
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("core.preread_hits" if wr is not None
+                        else "core.preread_misses")
         if wr is None:
             wr = self._read_footer()
         attempt = 0
@@ -215,6 +232,8 @@ class FooterRingWriter:
                 raise FlowTimeoutError(
                     f"remote ring on node {self.handle.node_id} still "
                     f"full after {attempt} backoff rounds")
+            if metrics is not None:
+                metrics.inc("core.backoff_rounds")
             yield self.env.timeout(full_ring_backoff(self._rng, attempt))
             attempt += 1
             wr = self._read_footer()
@@ -248,6 +267,8 @@ class CreditRingWriter:
         self._cached_consumed = 0
         self._pending_read = None
         self.segments_written = 0
+        self._metrics = node.metrics
+        self._credit_read_issued = 0.0
 
     @property
     def _available(self) -> int:
@@ -273,33 +294,48 @@ class CreditRingWriter:
                 remote_offset + self.handle.segment_size, signaled=False)
         self._sent += 1
         self.segments_written += 1
+        if self._metrics is not None:
+            self._metrics.inc("core.segments_written")
         if self._available <= self._threshold and self._pending_read is None:
             self._refresh_async()
         return wr
 
     def _refresh_async(self) -> None:
+        if self._metrics is not None:
+            self._credit_read_issued = self.env.now
         self._pending_read = self.qp.post_read(
             self._scratch, 0, self.handle.credit_rkey,
             self.handle.credit_offset, 8, signaled=False)
 
     def _acquire_credit(self):
+        metrics = self._metrics
         pending = self._pending_read
         if pending is not None and pending.done.triggered:
             self._apply(pending.done.value)
             self._pending_read = None
+            if metrics is not None:
+                metrics.observe("core.credit_rtt",
+                                self.env.now - self._credit_read_issued)
         attempt = 0
         while self._available <= 0:
+            if metrics is not None:
+                metrics.inc("core.credit_stalls")
             if self._pending_read is None:
                 self._refresh_async()
             data = yield self._pending_read.done
             self._pending_read = None
             self._apply(data)
+            if metrics is not None:
+                metrics.observe("core.credit_rtt",
+                                self.env.now - self._credit_read_issued)
             if self._available <= 0:
                 if (self._max_retries is not None
                         and attempt >= self._max_retries):
                     raise FlowTimeoutError(
                         f"no credit from node {self.handle.node_id} "
                         f"after {attempt} backoff rounds")
+                if metrics is not None:
+                    metrics.inc("core.backoff_rounds")
                 yield self.env.timeout(
                     full_ring_backoff(self._rng, attempt))
                 attempt += 1

@@ -1,0 +1,150 @@
+"""``repro.obs`` — the observability plane: counters, sim-time
+histograms and per-flow event tracing across simnet/rdma/core.
+
+Usage::
+
+    cluster = Cluster(node_count=4)
+    cluster.enable_observability()          # before opening endpoints
+    ... run the flow ...
+    print(render_report(cluster.metrics_snapshot()))
+    export_chrome_trace(cluster, "run.trace.json")   # if tracing was on
+
+Determinism contract (see ``docs/observability.md``): enabling the plane
+schedules zero kernel events and draws from zero RNG streams — it only
+reads ``env.now`` and mutates Python-side tallies — so the simulated
+timeline of any run is bit-identical with observability on or off
+(``benchmarks/perf/fingerprint.py --with-obs`` asserts this for all 15
+fingerprint scenarios). Hot paths pay one attribute check when the plane
+is off: endpoints cache ``node.metrics`` (default ``None``) at
+construction, which is also why the plane must be enabled *before*
+opening flow endpoints or creating queue pairs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.obs.metrics import Histogram, MetricsRegistry, render_report
+from repro.obs.trace import (
+    BACKOFF,
+    CREDIT,
+    DEFAULT_TRACE_CAPACITY,
+    FAULT_DETECT,
+    FAULT_INJECT,
+    FLOW_CLOSE,
+    FOOTER_POLL,
+    PREREAD,
+    REROUTE,
+    RETRANSMIT,
+    SEG_CONSUME,
+    SEG_WRITE,
+    FlowTracer,
+    chrome_trace,
+    export_chrome_trace,
+)
+
+if TYPE_CHECKING:
+    from repro.simnet.cluster import Cluster
+
+
+class ObsPlane:
+    """Observability state for one cluster: per-node registries, per-flow
+    trace rings, and the in-flight segment-latency stamp table."""
+
+    __slots__ = ("cluster", "registries", "tracers", "trace_all",
+                 "trace_capacity", "pending_segments")
+
+    def __init__(self, cluster: "Cluster", trace: bool = False,
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self.cluster = cluster
+        #: Trace every flow, regardless of its ``FlowOptions.trace`` knob
+        #: (harness mode — what ``fingerprint.py --with-obs`` uses).
+        self.trace_all = bool(trace)
+        self.trace_capacity = trace_capacity
+        self.registries: dict[int, MetricsRegistry] = {}
+        self.tracers: dict[str, FlowTracer] = {}
+        #: Segment write->consume latency stamps, keyed by
+        #: ``(target_node_id, rkey, seq)``: the source stamps at flush
+        #: time, the target pops in its drain and records the delta.
+        self.pending_segments: dict[tuple, float] = {}
+
+    def registry(self, node_id: int) -> MetricsRegistry:
+        """Get (or create) the registry of ``node_id``."""
+        registry = self.registries.get(node_id)
+        if registry is None:
+            registry = self.registries[node_id] = MetricsRegistry(node_id)
+        return registry
+
+    def tracer(self, flow: str, requested) -> "FlowTracer | None":
+        """Resolve the tracer for ``flow``: ``requested`` is the flow's
+        ``FlowOptions.trace`` value (``None``/``False`` off, ``True`` on
+        at the plane capacity, an ``int`` on with that capacity). The
+        plane's ``trace_all`` overrides an un-requested flow."""
+        if not requested and not self.trace_all:
+            return None
+        tracer = self.tracers.get(flow)
+        if tracer is None:
+            capacity = (requested if isinstance(requested, int)
+                        and not isinstance(requested, bool) and requested > 0
+                        else self.trace_capacity)
+            tracer = self.tracers[flow] = FlowTracer(flow, capacity)
+        return tracer
+
+    def snapshot(self) -> dict:
+        """Per-node registry snapshots (the ``"nodes"`` section of
+        ``Cluster.metrics_snapshot()``)."""
+        return {node_id: registry.snapshot()
+                for node_id, registry in sorted(self.registries.items())}
+
+
+def endpoint_obs(node, flow: str, options) -> tuple:
+    """Resolve ``(metrics, tracer)`` for a flow endpoint opening on
+    ``node``. Returns ``(None, None)`` when observability is off; a
+    ``FlowOptions(trace=...)`` request auto-enables the plane so opt-in
+    tracing works without a separate ``enable_observability()`` call."""
+    cluster = node.cluster
+    plane = cluster.obs
+    requested = getattr(options, "trace", None) if options is not None \
+        else None
+    if plane is None:
+        if not requested:
+            return None, None
+        plane = cluster.enable_observability()
+    return node.metrics, plane.tracer(flow, requested)
+
+
+# -- default-observability hook (fingerprint --with-obs) ---------------------
+#: When enabled, every newly built Cluster turns observability on in its
+#: constructor — lets the fingerprint harness prove counters+tracing cause
+#: zero timeline drift even for clusters built deep inside bench helpers.
+_default_enabled = False
+_default_trace = False
+
+def set_default_observability(enabled: bool, trace: bool = False) -> None:
+    """Enable (or clear) observability on every cluster created from now
+    on. Intended for harnesses, not applications."""
+    global _default_enabled, _default_trace
+    _default_enabled = bool(enabled)
+    _default_trace = bool(trace)
+
+
+def _install_default(cluster: "Cluster") -> None:
+    if _default_enabled:
+        cluster.enable_observability(trace=_default_trace)
+
+
+__all__ = [
+    "ObsPlane",
+    "MetricsRegistry",
+    "Histogram",
+    "FlowTracer",
+    "render_report",
+    "chrome_trace",
+    "export_chrome_trace",
+    "endpoint_obs",
+    "set_default_observability",
+    "DEFAULT_TRACE_CAPACITY",
+    "SEG_WRITE", "SEG_CONSUME", "FOOTER_POLL", "PREREAD", "CREDIT",
+    "BACKOFF", "RETRANSMIT", "REROUTE", "FAULT_INJECT", "FAULT_DETECT",
+    "FLOW_CLOSE",
+]

@@ -1,0 +1,234 @@
+"""Counters and sim-time histograms (the metrics half of ``repro.obs``).
+
+Design constraints, in priority order:
+
+1. **Determinism** — recording a metric never schedules a kernel event,
+   never draws from an RNG, and never reads the wall clock. Histograms
+   are driven off ``env.now`` differences, which are pure functions of
+   the simulated run, so two same-seed runs produce bit-identical
+   snapshots (``fingerprint.py --with-obs`` asserts the stronger claim:
+   the simulated timeline itself does not move).
+2. **Near-zero overhead when disabled** — nothing in this module runs
+   unless observability was enabled on the cluster. Hot paths cache the
+   registry at construction (``self._metrics = node.metrics``, default
+   ``None``) and guard every instrumentation point with one attribute
+   check.
+3. **Cheap when enabled** — a counter bump is one dict store; a
+   histogram record is one ``bit_length`` call plus five stores. No
+   locks (the simulator is single-threaded), no string formatting until
+   :meth:`MetricsRegistry.report` is asked for. Counters that mirror an
+   always-on tally the hot path maintains anyway (``tuples_sent``,
+   ``segments_sent``, ``CompletionQueue.pushed``, …) are not bumped per
+   event at all: the owner registers a **collector** and the registry
+   harvests the absolute value at read time (:meth:`get`,
+   :meth:`snapshot`, :meth:`report`), so those names cost zero on the
+   hot path.
+"""
+
+from __future__ import annotations
+
+
+class Histogram:
+    """Fixed-bucket power-of-two histogram with count/sum/min/max.
+
+    Bucket ``i`` holds values ``v`` with ``int(v).bit_length() == i``,
+    i.e. ``v == 0`` lands in bucket 0, ``1`` in bucket 1, ``2-3`` in
+    bucket 2, ``4-7`` in bucket 3, and so on. Power-of-two buckets keep
+    recording branch-free and make snapshots seed-stable: the bucket of
+    a latency is a pure function of the simulated value.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: "int | None" = None
+        self.max: "int | None" = None
+        self.buckets: dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        """Record one sample (negative samples clamp to zero)."""
+        v = int(value)
+        if v < 0:
+            v = 0
+        self.count += 1
+        self.total += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        bucket = v.bit_length()
+        buckets = self.buckets
+        buckets[bucket] = buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dict view (buckets keyed by bit length)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(sorted(self.buckets.items())),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Histogram n={self.count} mean={self.mean:.1f} "
+                f"min={self.min} max={self.max}>")
+
+
+class MetricsRegistry:
+    """Per-node registry of named counters and histograms.
+
+    Metric names are dot-namespaced strings (``core.tuples_pushed``,
+    ``rdma.doorbell_trains``, …) — see ``docs/observability.md`` for the
+    full catalog. Counters are created on first increment; reading an
+    absent counter via :meth:`get` returns 0.
+
+    Counter values come from two places, merged at read time:
+
+    - ``counters`` — live increments via :meth:`inc` (cold/rare events:
+      backoff rounds, failures, CQ errors, …).
+    - ``collectors`` — zero-argument callables returning
+      ``(name, absolute_value)`` pairs harvested from always-on tallies
+      the hot path maintains regardless of observability (channel
+      ``tuples_sent``/``segments_sent``, QP WQE tallies, CQ ``pushed``).
+      Registering a collector instead of calling :meth:`inc` per event
+      makes those names free on the hot path; contributions for the
+      same name (e.g. several channels on one node) are summed.
+    """
+
+    __slots__ = ("node_id", "counters", "histograms", "collectors")
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.collectors: list = []
+
+    # -- recording --------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0)."""
+        counters = self.counters
+        counters[name] = counters.get(name, 0) + amount
+
+    def histogram(self, name: str) -> Histogram:
+        """Get (or create) the histogram called ``name``."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.histogram(name).record(value)
+
+    def add_collector(self, collector) -> None:
+        """Register a read-time counter source: a zero-argument callable
+        returning an iterable of ``(name, absolute_value)`` pairs. Called
+        on every read (:meth:`get`/:meth:`snapshot`/:meth:`report`), so
+        collectors must be cheap, pure reads of always-on tallies."""
+        self.collectors.append(collector)
+
+    # -- reading ----------------------------------------------------------
+    def _merged_counters(self) -> dict:
+        """Live counters plus every collector's harvest, summed by name.
+        Zero-valued harvested names are dropped so idle sources do not
+        clutter snapshots with rows that never fired."""
+        merged = dict(self.counters)
+        for collector in self.collectors:
+            for name, value in collector():
+                if value:
+                    merged[name] = merged.get(name, 0) + value
+        return merged
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented),
+        including harvested collector contributions."""
+        value = self.counters.get(name, 0)
+        for collector in self.collectors:
+            for harvested_name, harvested in collector():
+                if harvested_name == name:
+                    value += harvested
+        return value
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dict of every counter and histogram."""
+        return {
+            "counters": dict(sorted(self._merged_counters().items())),
+            "histograms": {name: hist.snapshot() for name, hist
+                           in sorted(self.histograms.items())},
+        }
+
+    def report(self) -> str:
+        """Compact text table of this registry's metrics."""
+        lines = [f"node {self.node_id}"]
+        for name, value in sorted(self._merged_counters().items()):
+            lines.append(f"  {name:<40} {value:>14}")
+        for name, hist in sorted(self.histograms.items()):
+            lines.append(
+                f"  {name:<40} {hist.count:>14}  "
+                f"mean={hist.mean:.0f} min={hist.min} max={hist.max}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<MetricsRegistry node={self.node_id} "
+                f"counters={len(self.counters)} "
+                f"histograms={len(self.histograms)}>")
+
+
+def render_report(snapshot: dict) -> str:
+    """Render ``Cluster.metrics_snapshot()`` output as one text table.
+
+    Sections: per-node flow/RDMA metrics (only nodes that recorded
+    anything), then the always-on infrastructure tallies (NICs, links,
+    fabric) harvested from the simulator's built-in counters.
+    """
+    lines = ["=== metrics report ==="]
+    nodes = snapshot.get("nodes", {})
+    if not nodes:
+        lines.append("(observability disabled: no per-node registries)")
+    for node_id in sorted(nodes):
+        entry = nodes[node_id]
+        lines.append(f"node {node_id}")
+        for name, value in sorted(entry.get("counters", {}).items()):
+            lines.append(f"  {name:<40} {value:>14}")
+        for name, hist in sorted(entry.get("histograms", {}).items()):
+            count, total = hist["count"], hist["sum"]
+            mean = total / count if count else 0.0
+            lines.append(
+                f"  {name:<40} {count:>14}  mean={mean:.0f} "
+                f"min={hist['min']} max={hist['max']}")
+    nics = snapshot.get("nics", {})
+    if nics:
+        lines.append("nics")
+        for node_id in sorted(nics):
+            stats = nics[node_id]
+            lines.append(
+                f"  node{node_id}: wqes={stats['wqes_processed']} "
+                f"bytes_posted={stats['bytes_posted']} "
+                f"doorbell_trains={stats['doorbell_trains']} "
+                f"rx_dropped={stats['rx_dropped_no_recv']}")
+    links = snapshot.get("links", {})
+    if links:
+        lines.append("links")
+        for name in sorted(links):
+            stats = links[name]
+            lines.append(
+                f"  {name}: bytes={stats['bytes_carried']} "
+                f"messages={stats['messages_carried']} "
+                f"trains={stats['trains_carried']}")
+    fabric = snapshot.get("fabric")
+    if fabric:
+        lines.append("fabric")
+        lines.append(
+            f"  unicast={fabric['unicast_count']} "
+            f"trains={fabric['unicast_trains']} "
+            f"multicast={fabric['multicast_count']} "
+            f"multicast_drops={fabric['multicast_drops']} "
+            f"fault_drops={fabric['fault_drops']}")
+    return "\n".join(lines)

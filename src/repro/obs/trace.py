@@ -1,0 +1,173 @@
+"""Per-flow event tracing with a Chrome ``trace_event`` exporter.
+
+A :class:`FlowTracer` is a bounded ring of typed events, one per traced
+flow. Channels emit events with explicit simulated timestamps
+(``env.now``), so recording order equals simulated order and exporting a
+trace is a pure serialization step — nothing about tracing touches the
+kernel, which is how ``fingerprint.py --with-obs`` can demand a
+bit-identical timeline with tracing on.
+
+The exporter writes the Chrome ``trace_event`` JSON array format
+(`ph: "i"` instant events with explicit ``ts`` microseconds, ``pid`` =
+node id, ``tid`` = channel label) — load the file at ``chrome://tracing``
+or https://ui.perfetto.dev. Fault *injections* are synthesized at export
+time straight from the installed ``FaultPlan`` (Chrome events carry
+their own timestamps, so events need not be emitted live); fault
+*detections* are emitted live by the flow layer when a peer failure is
+diagnosed.
+"""
+
+from __future__ import annotations
+
+import json
+
+# -- event taxonomy (see docs/observability.md) ------------------------------
+SEG_WRITE = "SEG_WRITE"          #: source flushed a segment to the wire
+SEG_CONSUME = "SEG_CONSUME"      #: target drained a consumable segment
+FOOTER_POLL = "FOOTER_POLL"      #: writer polled a remote footer (window read)
+PREREAD = "PREREAD"              #: pipelined footer pre-read hit or miss
+CREDIT = "CREDIT"                #: credit refresh round-trip completed
+BACKOFF = "BACKOFF"              #: ring-full backoff round slept
+RETRANSMIT = "RETRANSMIT"        #: replicate source retransmitted a segment
+REROUTE = "REROUTE"              #: shuffle source rerouted a failed target
+FAULT_INJECT = "FAULT_INJECT"    #: fault plan entry fires (synthesized)
+FAULT_DETECT = "FAULT_DETECT"    #: flow layer diagnosed a peer failure
+FLOW_CLOSE = "FLOW_CLOSE"        #: endpoint closed or tore down
+
+#: Default per-flow ring capacity (events kept; oldest overwritten).
+DEFAULT_TRACE_CAPACITY = 65536
+
+
+class FlowTracer:
+    """Bounded per-flow trace ring.
+
+    Holds the most recent ``capacity`` events; older events are
+    overwritten in place (``dropped`` counts them). Events are
+    ``(ts, kind, node_id, tid, detail)`` tuples with ``ts`` in simulated
+    nanoseconds and ``detail`` a small dict or ``None``.
+    """
+
+    __slots__ = ("flow", "capacity", "_ring", "_next", "dropped")
+
+    def __init__(self, flow: str,
+                 capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        self.flow = flow
+        self.capacity = capacity
+        self._ring: list = []
+        self._next = 0
+        self.dropped = 0
+
+    def emit(self, ts: float, kind: str, node_id: int, tid: str,
+             detail: "dict | None" = None) -> None:
+        """Record one event (O(1); overwrites the oldest when full)."""
+        record = (ts, kind, node_id, tid, detail)
+        ring = self._ring
+        if len(ring) < self.capacity:
+            ring.append(record)
+        else:
+            ring[self._next % self.capacity] = record
+            self.dropped += 1
+        self._next += 1
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def emitted(self) -> int:
+        """Total events ever emitted (kept + dropped)."""
+        return self._next
+
+    def events(self) -> list:
+        """Events in emission (= simulated-time) order."""
+        ring = self._ring
+        if len(ring) < self.capacity:
+            return list(ring)
+        head = self._next % self.capacity
+        return ring[head:] + ring[:head]
+
+    def __repr__(self) -> str:
+        return (f"<FlowTracer {self.flow!r} kept={len(self._ring)} "
+                f"dropped={self.dropped}>")
+
+
+def _fault_plan_events(cluster) -> list[dict]:
+    """Synthesize Chrome instant events for every installed fault entry
+    at its *planned* simulated time (injection is part of the immutable
+    plan, so the trace can state it exactly without live emission)."""
+    plane = getattr(cluster, "faults", None)
+    if plane is None or not plane.plan.entries:
+        return []
+    from repro.simnet.faults import (
+        LinkDegrade,
+        LinkDown,
+        NodeCrash,
+        Partition,
+    )
+    events = []
+
+    def instant(at, pid, detail):
+        events.append({
+            "name": FAULT_INJECT, "cat": "faults", "ph": "i", "s": "g",
+            "ts": at / 1000.0, "pid": pid, "tid": "faults",
+            "args": detail,
+        })
+
+    for entry in plane.plan.entries:
+        if isinstance(entry, NodeCrash):
+            instant(entry.at, entry.node,
+                    {"kind": "node_crash", "at_ns": entry.at})
+        elif isinstance(entry, LinkDown):
+            detail = {"kind": "link_down", "at_ns": entry.at,
+                      "peer": entry.b, "duration_ns": entry.duration}
+            instant(entry.at, entry.a, detail)
+        elif isinstance(entry, LinkDegrade):
+            instant(entry.at, entry.node,
+                    {"kind": "link_degrade", "at_ns": entry.at,
+                     "duration_ns": entry.duration,
+                     "factor": entry.factor})
+        elif isinstance(entry, Partition):
+            groups = [sorted(group) for group in entry.groups]
+            instant(entry.at, groups[0][0],
+                    {"kind": "partition", "at_ns": entry.at,
+                     "heal_at_ns": entry.heal_at, "groups": groups})
+    return events
+
+
+def chrome_trace(cluster) -> dict:
+    """Build the Chrome ``trace_event`` document for a cluster's traced
+    flows (plus synthesized fault-injection events). Returns the JSON
+    object; use :func:`export_chrome_trace` to write it to disk."""
+    trace_events: list[dict] = []
+    plane = getattr(cluster, "obs", None)
+    tracers = plane.tracers.values() if plane is not None else ()
+    named_pids = set()
+    for tracer in tracers:
+        for ts, kind, node_id, tid, detail in tracer.events():
+            event = {
+                "name": kind, "cat": tracer.flow, "ph": "i", "s": "t",
+                "ts": ts / 1000.0, "pid": node_id, "tid": tid,
+            }
+            if detail:
+                event["args"] = detail
+            trace_events.append(event)
+            named_pids.add(node_id)
+    fault_events = _fault_plan_events(cluster)
+    for event in fault_events:
+        named_pids.add(event["pid"])
+    trace_events.extend(fault_events)
+    metadata = [
+        {"name": "process_name", "ph": "M", "pid": pid, "tid": "meta",
+         "args": {"name": f"node{pid}"}}
+        for pid in sorted(named_pids)
+    ]
+    return {"traceEvents": metadata + trace_events,
+            "displayTimeUnit": "ns"}
+
+
+def export_chrome_trace(cluster, path: str) -> dict:
+    """Write the cluster's trace to ``path`` (Perfetto-loadable JSON);
+    returns the document that was written."""
+    document = chrome_trace(cluster)
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+    return document

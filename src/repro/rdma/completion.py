@@ -150,13 +150,25 @@ class CompletionQueue:
     ``wait`` returns an event for event-driven consumers.
     """
 
-    def __init__(self, env: Environment, name: str = "cq") -> None:
+    def __init__(self, env: Environment, name: str = "cq",
+                 metrics=None) -> None:
         self.env = env
         self.name = name
         self._entries: deque[Completion] = deque()
         self._waiters: deque[Event] = deque()
         #: Total completions ever pushed (for stats/tests).
         self.pushed = 0
+        #: Optional :class:`repro.obs.MetricsRegistry` of the owning node
+        #: (``None`` while observability is off — the hot-path guard).
+        #: ``rdma.cq_pushed`` is harvested at read time from ``pushed``;
+        #: only the rare error completions bump a counter live.
+        self._metrics = metrics
+        if metrics is not None:
+            metrics.add_collector(self._collect_obs)
+
+    def _collect_obs(self):
+        """Read-time counter harvest (see MetricsRegistry.add_collector)."""
+        return (("rdma.cq_pushed", self.pushed),)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -164,6 +176,10 @@ class CompletionQueue:
     def push(self, completion: Completion) -> None:
         """Add a completion entry, waking one blocked waiter if any."""
         self.pushed += 1
+        if completion.status is not WcStatus.SUCCESS:
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.inc("rdma.cq_errors")
         if self._waiters:
             self._waiters.popleft().succeed(completion)
         else:

@@ -40,6 +40,8 @@ class RNic:
         self.bytes_posted = 0
         #: UD packets dropped because no receive request was posted.
         self.rx_dropped_no_recv = 0
+        #: Doorbell trains admitted through :meth:`engine_delay_train`.
+        self.doorbell_trains = 0
 
     # -- memory ----------------------------------------------------------
     def register_memory(self, size: int) -> MemoryRegion:
@@ -69,10 +71,13 @@ class RNic:
         from repro.rdma.qp import QueuePair
 
         qpn = next(self._qp_numbers)
+        metrics = self.node.metrics
         if send_cq is None:
-            send_cq = CompletionQueue(self.env, f"{self.node.name}.scq{qpn}")
+            send_cq = CompletionQueue(self.env, f"{self.node.name}.scq{qpn}",
+                                      metrics=metrics)
         if recv_cq is None:
-            recv_cq = CompletionQueue(self.env, f"{self.node.name}.rcq{qpn}")
+            recv_cq = CompletionQueue(self.env, f"{self.node.name}.rcq{qpn}",
+                                      metrics=metrics)
         return QueuePair(self, qpn, remote_node, send_cq, recv_cq)
 
     def create_ud_qp(self, recv_cq: CompletionQueue | None = None) -> "UdQueuePair":
@@ -82,7 +87,8 @@ class RNic:
         qpn = next(self._qp_numbers)
         if recv_cq is None:
             recv_cq = CompletionQueue(self.env,
-                                      f"{self.node.name}.udcq{qpn}")
+                                      f"{self.node.name}.udcq{qpn}",
+                                      metrics=self.node.metrics)
         return UdQueuePair(self, qpn, recv_cq)
 
     # -- WQE pipeline ----------------------------------------------------
@@ -123,6 +129,7 @@ class RNic:
             offsets.append((start - now) + latency)
         self._engine_busy_until = busy
         self.wqes_processed += len(offsets)
+        self.doorbell_trains += 1
         return offsets
 
     def __repr__(self) -> str:

@@ -87,6 +87,26 @@ class QueuePair:
         #: WQEs staged by ``post_write(doorbell=False)`` awaiting the
         #: explicit ``ring_doorbell()``.
         self._staged: list = []
+        #: Cached per-node metrics registry (``None`` while observability
+        #: is off — enable it before creating queue pairs). The WQE/train
+        #: tallies below are plain attribute adds on the hot path; the
+        #: registry harvests them at read time via the collector.
+        self._metrics = nic.node.metrics
+        self._obs_wqes_posted = 0
+        self._obs_wqes_signaled = 0
+        self._obs_trains = 0
+        self._obs_train_hist = None
+        if self._metrics is not None:
+            self._metrics.add_collector(self._collect_obs)
+
+    def _collect_obs(self):
+        """Read-time counter harvest (see MetricsRegistry.add_collector)."""
+        posted = self._obs_wqes_posted
+        signaled = self._obs_wqes_signaled
+        return (("rdma.wqes_posted", posted),
+                ("rdma.wqes_signaled", signaled),
+                ("rdma.wqes_unsignaled", posted - signaled),
+                ("rdma.doorbell_trains", self._obs_trains))
 
     # -- connection handling (two-sided only) ------------------------------
     def connect(self, peer: "QueuePair") -> None:
@@ -116,6 +136,11 @@ class QueuePair:
         """Fail ``wr`` after ``delay`` ns with ``status``. The error
         completion is pushed regardless of ``signaled`` — real verbs
         report failed work requests even when unsignaled."""
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.inc("rdma.wqe_flushes")
+            if status is WcStatus.RETRY_EXC_ERR:
+                metrics.inc("rdma.retry_exc_err")
         timer = self.env.pooled_timeout(delay)
 
         def on_timeout(_event, wr=wr, status=status):
@@ -222,6 +247,10 @@ class QueuePair:
             self._staged.append((wr, size, pieces, remote_rkey,
                                  remote_offset))
             return wr
+        if self._metrics is not None:
+            self._obs_wqes_posted += 1
+            if signaled:
+                self._obs_wqes_signaled += 1
         faults = self._faults()
         if faults is not None:
             admit = faults.rc_admission(self.node, self.remote_node)
@@ -347,6 +376,21 @@ class QueuePair:
         """
         if not entries:
             return []
+        metrics = self._metrics
+        if metrics is not None:
+            count = len(entries)
+            self._obs_wqes_posted += count
+            signaled = 0
+            for entry in entries:
+                if entry[0].signaled:
+                    signaled += 1
+            self._obs_wqes_signaled += signaled
+            self._obs_trains += 1
+            hist = self._obs_train_hist
+            if hist is None:
+                hist = self._obs_train_hist = metrics.histogram(
+                    "rdma.train_len")
+            hist.record(count)
         faults = self._faults()
         if faults is not None:
             return self._post_train_faulted(entries, faults)
@@ -507,6 +551,8 @@ class QueuePair:
         """
         if length <= 0:
             raise RdmaError("read length must be positive")
+        if self._metrics is not None:
+            self._metrics.inc("rdma.reads_posted")
         faults = self._faults()
         fault_delay = 0.0
         if faults is not None:
@@ -556,6 +602,8 @@ class QueuePair:
                      wr_id: Any) -> WorkRequest:
         remote_region = get_nic(self.remote_node).region(remote_rkey)
         remote_region.check_range(remote_offset, 8)
+        if self._metrics is not None:
+            self._metrics.inc("rdma.atomics_posted")
         faults = self._faults()
         fault_delay = 0.0
         if faults is not None:
@@ -631,6 +679,8 @@ class QueuePair:
         if not data:
             raise RdmaError("cannot send an empty message")
         size = len(data)
+        if self._metrics is not None:
+            self._metrics.inc("rdma.sends_posted")
         faults = self._faults()
         if faults is not None:
             admit = faults.rc_admission(self.node, self.remote_node)

@@ -34,8 +34,12 @@ class Cluster:
         self.fabric = Fabric(self)
         #: The installed fault plane, if any (see ``repro.simnet.faults``).
         self.faults = None
+        #: The observability plane, if enabled (see ``repro.obs``).
+        self.obs = None
         from repro.simnet.faults import _install_default
         _install_default(self)
+        from repro.obs import _install_default as _install_obs_default
+        _install_obs_default(self)
 
     def install_faults(self, plan, detection_timeout: float | None = None):
         """Install a :class:`~repro.simnet.faults.FaultPlan` on this
@@ -55,6 +59,64 @@ class Cluster:
         self.faults = FaultPlane(self, plan, detection_timeout)
         self.fabric._faults = self.faults
         return self.faults
+
+    def enable_observability(self, trace: bool = False,
+                             trace_capacity: int | None = None):
+        """Enable the observability plane (see ``repro.obs``) and return
+        it. Idempotent; call *before* opening flow endpoints or creating
+        queue pairs (they cache ``node.metrics`` at construction).
+        ``trace=True`` traces every flow regardless of its
+        ``FlowOptions.trace`` knob. Enabling never perturbs the simulated
+        timeline: it schedules no kernel events and draws no randomness.
+        """
+        from repro.obs import DEFAULT_TRACE_CAPACITY, ObsPlane
+
+        if self.obs is None:
+            if trace_capacity is None:
+                trace_capacity = DEFAULT_TRACE_CAPACITY
+            self.obs = ObsPlane(self, trace=trace,
+                                trace_capacity=trace_capacity)
+            for node in self.nodes:
+                node.metrics = self.obs.registry(node.node_id)
+        elif trace:
+            self.obs.trace_all = True
+        return self.obs
+
+    def metrics_snapshot(self) -> dict:
+        """One dict of everything measurable about this cluster: per-node
+        registries (empty unless :meth:`enable_observability` was called)
+        plus the always-on infrastructure tallies of the NICs, links and
+        fabric. Render with :func:`repro.obs.render_report`."""
+        nics = {}
+        for node in self.nodes:
+            nic = getattr(node, "_rnic", None)
+            if nic is not None:
+                nics[node.node_id] = {
+                    "wqes_processed": nic.wqes_processed,
+                    "bytes_posted": nic.bytes_posted,
+                    "doorbell_trains": nic.doorbell_trains,
+                    "rx_dropped_no_recv": nic.rx_dropped_no_recv,
+                }
+        links = {}
+        for node in self.nodes:
+            for link in (node.uplink, node.downlink):
+                links[link.name] = {
+                    "bytes_carried": link.bytes_carried,
+                    "messages_carried": link.messages_carried,
+                    "trains_carried": link.trains_carried,
+                }
+        return {
+            "nodes": self.obs.snapshot() if self.obs is not None else {},
+            "nics": nics,
+            "links": links,
+            "fabric": {
+                "unicast_count": self.fabric.unicast_count,
+                "unicast_trains": self.fabric.unicast_trains,
+                "multicast_count": self.fabric.multicast_count,
+                "multicast_drops": self.fabric.multicast_drops,
+                "fault_drops": self.fabric.fault_drops,
+            },
+        }
 
     @property
     def node_count(self) -> int:

@@ -41,6 +41,8 @@ class Fabric:
         self._loopback_last: dict[int, float] = {}
         #: Unicast messages delivered.
         self.unicast_count = 0
+        #: Doorbell trains shipped through :meth:`unicast_train`.
+        self.unicast_trains = 0
         #: Multicast packets sent (one per multicast, not per receiver).
         self.multicast_count = 0
         #: Multicast receiver deliveries dropped by loss injection.
@@ -108,6 +110,7 @@ class Fabric:
             self._check_nodes(source, destination)
         count = len(sizes)
         self.unicast_count += count
+        self.unicast_trains += 1
         now = self.env.now
         if source is destination:
             loop_latency = self.profile.loopback_latency

@@ -17,7 +17,7 @@ class Link:
     """One direction of a network port (e.g. a node's uplink to the switch)."""
 
     __slots__ = ("name", "bandwidth", "_busy_until", "_busy_time",
-                 "bytes_carried", "messages_carried")
+                 "bytes_carried", "messages_carried", "trains_carried")
 
     def __init__(self, name: str, bandwidth: float) -> None:
         if bandwidth <= 0:
@@ -31,6 +31,8 @@ class Link:
         self.bytes_carried = 0
         #: Total messages scheduled onto this link.
         self.messages_carried = 0
+        #: Doorbell trains reserved as one unit (``reserve_train`` calls).
+        self.trains_carried = 0
 
     @property
     def busy_until(self) -> float:
@@ -81,6 +83,7 @@ class Link:
         self._busy_until = busy
         self._busy_time = busy_time
         self.messages_carried += len(slots)
+        self.trains_carried += 1
         return slots
 
     def reserve_priority(self, size: int, earliest: float) -> tuple[float, float]:

@@ -37,6 +37,10 @@ class Node:
         self._backoff_rng: "random.Random | None" = None
         #: Set by the fault plane's fail-stop injection.
         self.crashed = False
+        #: Per-node :class:`repro.obs.MetricsRegistry`, or ``None`` while
+        #: observability is disabled (the hot-path guard: endpoints cache
+        #: this at construction and skip all instrumentation on ``None``).
+        self.metrics = None
 
     @property
     def cpu_scale(self) -> float:

@@ -1,0 +1,287 @@
+"""Tests for the per-flow trace ring and the Chrome trace exporter.
+
+Covers the ring-bound contract (most recent ``capacity`` events kept,
+``dropped`` counts the rest), the ``trace_event`` JSON schema of the
+exporter, and the chaos integration: a seeded ``FaultPlan.random`` run
+must export fault-injection instants at their *planned* simulated times
+plus live ``FAULT_DETECT`` events from the flow layer.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import (
+    FlowAbortedError,
+    FlowPeerFailedError,
+    FlowTimeoutError,
+)
+from repro.core import (
+    FLOW_END,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Optimization,
+    Schema,
+)
+from repro.obs import (
+    FAULT_DETECT,
+    FAULT_INJECT,
+    FLOW_CLOSE,
+    SEG_CONSUME,
+    SEG_WRITE,
+    FlowTracer,
+    chrome_trace,
+    export_chrome_trace,
+)
+from repro.simnet import Cluster, FaultPlan
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+_FLOW_ERRORS = (FlowPeerFailedError, FlowTimeoutError, FlowAbortedError)
+
+
+class TestTraceRing:
+    def test_ring_keeps_most_recent_events(self):
+        tracer = FlowTracer("f", capacity=4)
+        for i in range(10):
+            tracer.emit(float(i), SEG_WRITE, 0, "s0", {"seq": i})
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert tracer.emitted == 10
+        kept = [event[4]["seq"] for event in tracer.events()]
+        assert kept == [6, 7, 8, 9]  # oldest overwritten, order preserved
+
+    def test_ring_under_capacity(self):
+        tracer = FlowTracer("f", capacity=8)
+        tracer.emit(1.0, SEG_WRITE, 0, "s0")
+        tracer.emit(2.0, SEG_CONSUME, 1, "t0", {"seq": 0})
+        assert len(tracer) == 2 and tracer.dropped == 0
+        assert [event[1] for event in tracer.events()] == [SEG_WRITE,
+                                                           SEG_CONSUME]
+
+    def test_flow_options_capacity_respected(self):
+        cluster = Cluster(node_count=2)
+        dfi = DfiRuntime(cluster)
+        dfi.init_shuffle_flow(
+            "tiny", [Endpoint(0, 0)], [Endpoint(1, 0)], SCHEMA,
+            shuffle_key="key",
+            options=FlowOptions(segment_size=128, trace=4))
+
+        def src():
+            source = yield from dfi.open_source("tiny", 0)
+            for i in range(64):
+                yield from source.push((i, i))
+            yield from source.close()
+
+        def tgt():
+            target = yield from dfi.open_target("tiny", 0)
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+
+        cluster.env.process(src())
+        cluster.env.process(tgt())
+        cluster.run()
+        tracer = cluster.obs.tracers["tiny"]
+        assert tracer.capacity == 4
+        assert len(tracer) == 4
+        assert tracer.emitted > 4 and tracer.dropped == tracer.emitted - 4
+
+
+class TestChromeExport:
+    def _traced_run(self):
+        cluster = Cluster(node_count=2)
+        cluster.enable_observability(trace=True)
+        dfi = DfiRuntime(cluster)
+        dfi.init_shuffle_flow("flow", [Endpoint(0, 0)], [Endpoint(1, 0)],
+                              SCHEMA, shuffle_key="key",
+                              options=FlowOptions(segment_size=128))
+
+        def src():
+            source = yield from dfi.open_source("flow", 0)
+            for i in range(16):
+                yield from source.push((i, i))
+            yield from source.close()
+
+        def tgt():
+            target = yield from dfi.open_target("flow", 0)
+            while (yield from target.consume()) is not FLOW_END:
+                pass
+
+        cluster.env.process(src())
+        cluster.env.process(tgt())
+        cluster.run()
+        return cluster
+
+    def test_document_schema(self):
+        document = chrome_trace(self._traced_run())
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert {"name", "ph", "pid", "tid"} <= set(event)
+            assert event["ph"] in ("i", "M")
+            if event["ph"] == "i":
+                assert event["ts"] >= 0
+                assert isinstance(event["pid"], int)
+        # json round-trip: the document must be plain-JSON serializable.
+        assert json.loads(json.dumps(document)) == document
+
+    def test_instants_cover_both_sides(self):
+        document = chrome_trace(self._traced_run())
+        names = {event["name"] for event in document["traceEvents"]}
+        assert SEG_WRITE in names and SEG_CONSUME in names
+        pids = {event["pid"] for event in document["traceEvents"]
+                if event["ph"] == "i"}
+        assert pids == {0, 1}  # source node and target node
+
+    def test_export_writes_loadable_json(self, tmp_path):
+        path = tmp_path / "run.trace.json"
+        document = export_chrome_trace(self._traced_run(), str(path))
+        assert json.loads(path.read_text()) == document
+
+    def test_timestamps_are_microseconds(self):
+        cluster = self._traced_run()
+        tracer = cluster.obs.tracers["flow"]
+        first_ns = tracer.events()[0][0]
+        document = chrome_trace(cluster)
+        instants = [event for event in document["traceEvents"]
+                    if event["ph"] == "i"]
+        assert instants[0]["ts"] == first_ns / 1000.0
+
+
+class TestChaosTrace:
+    def _chaos_run(self, seed=3):
+        """Seeded chaos shuffle (the test_chaos_faults harness shape)
+        with tracing on: faults get injected and the flow layer detects
+        peer failures at simulated times the plan pins exactly. Pushes
+        enough tuples (6000, ~380 us simulated) that the flow is still
+        live when the plan window (50-800 us) starts firing."""
+        cluster = Cluster(node_count=5, seed=seed)
+        plan = FaultPlan.random(seed, node_ids=range(5), start=50_000.0,
+                                horizon=800_000.0, entry_count=3,
+                                protected=(0,))
+        cluster.install_faults(plan, detection_timeout=60_000.0)
+        cluster.enable_observability(trace=True)
+        dfi = DfiRuntime(cluster)
+        options = FlowOptions(
+            segment_size=256, source_segments=4, target_segments=8,
+            credit_threshold=2, peer_timeout=200_000.0,
+            max_backoff_retries=32, max_retransmits=8)
+        dfi.init_shuffle_flow("chaos", ["node1|0", "node2|0"],
+                              ["node3|0", "node4|0"], SCHEMA,
+                              shuffle_key="key", options=options)
+
+        def source_thread(index):
+            try:
+                source = yield from dfi.open_source("chaos", index)
+                for i in range(6000):
+                    yield from source.push((i, 1))
+                yield from source.close()
+            except _FLOW_ERRORS:
+                pass
+
+        def target_thread(index):
+            try:
+                target = yield from dfi.open_target("chaos", index)
+                while (yield from target.consume()) is not FLOW_END:
+                    pass
+            except _FLOW_ERRORS:
+                pass
+
+        for node_id, index in ((1, 0), (2, 1)):
+            cluster.node(node_id).spawn(source_thread(index))
+        for node_id, index in ((3, 0), (4, 1)):
+            cluster.node(node_id).spawn(target_thread(index))
+        cluster.run(until=8_000_000.0)
+        return cluster, plan
+
+    def test_fault_plan_instants_at_planned_times(self):
+        cluster, plan = self._chaos_run()
+        document = chrome_trace(cluster)
+        injected = [event for event in document["traceEvents"]
+                    if event["name"] == FAULT_INJECT]
+        assert len(injected) == len(plan.entries)
+        planned_ts = sorted(entry.at / 1000.0 for entry in plan.entries)
+        assert sorted(event["ts"] for event in injected) == planned_ts
+        for event in injected:
+            assert event["cat"] == "faults"
+            assert "kind" in event["args"]
+
+    def test_chaos_seed_emits_fault_detection(self):
+        # Seed 3 crashes flow peers (same plan test_chaos_faults runs);
+        # the surviving endpoints must diagnose it as FAULT_DETECT.
+        cluster, _plan = self._chaos_run(seed=3)
+        names = [event[1]
+                 for tracer in cluster.obs.tracers.values()
+                 for event in tracer.events()]
+        assert FAULT_DETECT in names
+        detected = sum(registry.get("core.peer_failures_detected")
+                       for registry in cluster.obs.registries.values())
+        assert detected > 0
+
+    def test_chaos_trace_exports_clean_json(self, tmp_path):
+        cluster, _plan = self._chaos_run()
+        path = tmp_path / "chaos.trace.json"
+        document = export_chrome_trace(cluster, str(path))
+        reloaded = json.loads(path.read_text())
+        assert reloaded == document
+        assert any(event["name"] == FAULT_INJECT
+                   for event in reloaded["traceEvents"])
+
+
+class TestFlowCloseEvents:
+    """Every source flavour must emit FLOW_CLOSE on close *and* abort
+    with tracing on (regression: the replicate sources once referenced
+    a nonexistent ``self.env`` on these cold paths, which only trips
+    when a traced flow actually closes)."""
+
+    def _run_flow(self, kind, finish):
+        cluster = Cluster(node_count=3)
+        cluster.enable_observability(trace=True)
+        dfi = DfiRuntime(cluster)
+        if kind in ("replicate", "multicast"):
+            dfi.init_replicate_flow(
+                "f", [Endpoint(0, 0)], [Endpoint(1, 0), Endpoint(2, 0)],
+                SCHEMA, options=FlowOptions(
+                    segment_size=128, multicast=(kind == "multicast")))
+        else:
+            dfi.init_shuffle_flow(
+                "f", [Endpoint(0, 0)], [Endpoint(1, 0), Endpoint(2, 0)],
+                SCHEMA, shuffle_key="key",
+                optimization=Optimization(kind),
+                options=FlowOptions(segment_size=128))
+        target_count = 2
+
+        def src():
+            source = yield from dfi.open_source("f", 0)
+            for i in range(8):
+                yield from source.push((i, i))
+            if finish == "close":
+                yield from source.close()
+            else:
+                yield from source.abort()
+
+        def tgt(index):
+            try:
+                target = yield from dfi.open_target("f", index)
+                while (yield from target.consume()) is not FLOW_END:
+                    pass
+            except FlowAbortedError:
+                pass
+
+        cluster.env.process(src())
+        for index in range(target_count):
+            cluster.env.process(tgt(index))
+        cluster.run()
+        return cluster
+
+    @pytest.mark.parametrize("finish", ["close", "abort"])
+    @pytest.mark.parametrize(
+        "kind", ["bandwidth", "latency", "replicate", "multicast"])
+    def test_flow_close_traced(self, kind, finish):
+        cluster = self._run_flow(kind, finish)
+        closes = [event for tracer in cluster.obs.tracers.values()
+                  for event in tracer.events() if event[1] == FLOW_CLOSE]
+        assert closes, f"no FLOW_CLOSE from {kind} {finish}"
+        aborted = any((event[4] or {}).get("aborted") for event in closes)
+        assert aborted == (finish == "abort")
