@@ -123,9 +123,8 @@ def bench_train_schedule(n: int) -> dict:
     env = Environment()
     sink = []
     append = sink.append
-    action = lambda: append(None)  # noqa: E731
     for base in range(0, n, 16):
-        env.schedule_train([(float(base % 97) + 1.0 + 0.01 * i, action)
+        env.schedule_train([(float(base % 97) + 1.0 + 0.01 * i, append, None)
                             for i in range(min(16, n - base))])
     start = time.perf_counter()
     env.run()

@@ -1,0 +1,230 @@
+"""Multiprocess fan-out for independent simulator runs.
+
+Every cluster in this repo is a self-contained, seeded universe: two runs
+with different seeds share no state, so a seed sweep is embarrassingly
+parallel. This module farms such runs across host cores and merges the
+per-seed results back in deterministic (case) order:
+
+* :func:`fan_out` — generic ordered ``Pool.map`` over picklable cases,
+  with a serial fallback (``processes=1`` or a single case) so results
+  never depend on whether multiprocessing was available;
+* :func:`run_chaos_case` — one chaos-matrix cell (seed x flow type x
+  optimization), executed **twice** to assert bit-identical outcomes,
+  mirroring ``tests/test_chaos_faults.py``;
+* :func:`run_bench_script` — one benchmark script in a subprocess (each
+  bench script is already a standalone program writing its own JSON).
+
+Wall-clock numbers from benches run concurrently share host cores and
+are noisier than solo runs; the chaos and fingerprint workloads are
+timing-free (simulated metrics only) and merge losslessly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import sys
+
+#: Chaos-matrix defaults — keep in lockstep with tests/test_chaos_faults.py.
+CHAOS_SEEDS = range(5)
+CHAOS_FLOW_TYPES = ("shuffle", "replicate", "combiner")
+CHAOS_MODES = ("bw", "lat")
+_CHAOS_HORIZON = 8_000_000.0
+_CHAOS_DETECTION = 60_000.0
+
+#: Legible chaos outcomes; anything else (or a process still blocked at
+#: the horizon) is a failure of the no-hang invariant.
+CHAOS_ALLOWED = {"completed", "killed", "FlowPeerFailedError",
+                 "FlowTimeoutError", "FlowAbortedError"}
+
+
+def default_processes(case_count: int) -> int:
+    """Worker count: one per case, capped at the host's cores."""
+    return max(1, min(case_count, os.cpu_count() or 1))
+
+
+def fan_out(worker, cases, processes: "int | None" = None) -> list:
+    """Run ``worker`` over ``cases`` across processes; results come back
+    in case order regardless of completion order, so a merged report is
+    reproducible for a fixed case list.
+
+    ``worker`` must be a module-level function and every case picklable.
+    With one worker (or one case) the map runs serially in-process —
+    identical results, no pool overhead.
+    """
+    cases = list(cases)
+    if processes is None:
+        processes = default_processes(len(cases))
+    if processes <= 1 or len(cases) <= 1:
+        return [worker(case) for case in cases]
+    # Fork keeps the already-imported simulator warm in the children;
+    # fall back to the platform default where fork is unavailable.
+    try:
+        context = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        context = multiprocessing.get_context()
+    with context.Pool(processes=min(processes, len(cases))) as pool:
+        return pool.map(worker, cases)
+
+
+# -- chaos sweep -------------------------------------------------------------
+
+def chaos_cases(seeds=CHAOS_SEEDS, flow_types=CHAOS_FLOW_TYPES,
+                modes=CHAOS_MODES) -> list:
+    """The full chaos matrix as picklable ``(seed, flow, mode)`` cases."""
+    return [(seed, flow_type, mode)
+            for seed in seeds
+            for flow_type in flow_types
+            for mode in modes]
+
+
+def _chaos_once(seed: int, flow_type: str, mode: str):
+    """One seeded chaos run; returns JSON-safe (outcomes, counts, now).
+
+    Same topology, fault plan, and endpoint logic as the tier-1 chaos
+    suite; raises ``RuntimeError`` on a hang instead of a test assert.
+    """
+    from repro.common.errors import (
+        FlowAbortedError,
+        FlowPeerFailedError,
+        FlowTimeoutError,
+    )
+    from repro.core import (
+        FLOW_END,
+        AggregationSpec,
+        DfiRuntime,
+        FlowOptions,
+        Optimization,
+        Schema,
+    )
+    from repro.simnet import Cluster, FaultPlan
+
+    flow_errors = (FlowPeerFailedError, FlowTimeoutError, FlowAbortedError)
+    optimization = (Optimization.LATENCY if mode == "lat"
+                    else Optimization.BANDWIDTH)
+    schema = Schema(("key", "uint64"), ("value", "uint64"))
+    cluster = Cluster(node_count=5, seed=seed)
+    plan = FaultPlan.random(seed, node_ids=range(5), start=50_000.0,
+                            horizon=800_000.0, entry_count=3,
+                            protected=(0,))
+    cluster.install_faults(plan, detection_timeout=_CHAOS_DETECTION)
+    dfi = DfiRuntime(cluster)
+    options = FlowOptions(
+        segment_size=256, source_segments=4, target_segments=8,
+        credit_threshold=2, peer_timeout=200_000.0,
+        max_backoff_retries=32, max_retransmits=8,
+        on_target_failure="reroute" if seed % 2 else "abort",
+        multicast=(flow_type == "replicate"
+                   and optimization is Optimization.LATENCY))
+
+    if flow_type == "shuffle":
+        dfi.init_shuffle_flow("chaos", ["node1|0", "node2|0"],
+                              ["node3|0", "node4|0"], schema,
+                              shuffle_key="key", optimization=optimization,
+                              options=options)
+        sources = [(1, 0), (2, 1)]
+        targets = [(3, 0), (4, 1)]
+    elif flow_type == "replicate":
+        dfi.init_replicate_flow("chaos", ["node1|0"],
+                                ["node2|0", "node3|0", "node4|0"], schema,
+                                optimization=optimization, options=options)
+        sources = [(1, 0)]
+        targets = [(2, 0), (3, 1), (4, 2)]
+    else:
+        dfi.init_combiner_flow("chaos", ["node1|0", "node2|0", "node3|0"],
+                               "node4|0", schema,
+                               aggregation=AggregationSpec("sum", "key",
+                                                           "value"),
+                               optimization=optimization, options=options)
+        sources = [(1, 0), (2, 1), (3, 2)]
+        targets = [(4, 0)]
+
+    outcomes: dict = {}
+    counts: dict = {}
+
+    def source_thread(key, index):
+        try:
+            source = yield from dfi.open_source("chaos", index)
+            for i in range(600):
+                yield from source.push((i, 1))
+            yield from source.close()
+            outcomes[key] = "completed"
+        except flow_errors as exc:
+            outcomes[key] = type(exc).__name__
+
+    def target_thread(key, index):
+        counts[key] = 0
+        try:
+            target = yield from dfi.open_target("chaos", index)
+            if flow_type == "combiner":
+                while (yield from target.consume_step()) is not FLOW_END:
+                    pass
+                counts[key] = target.tuples_aggregated
+            else:
+                while True:
+                    item = yield from target.consume()
+                    if item is FLOW_END:
+                        break
+                    counts[key] += 1
+            outcomes[key] = "completed"
+        except flow_errors as exc:
+            outcomes[key] = type(exc).__name__
+
+    procs = {}
+    for node_id, index in sources:
+        key = f"src{index}"
+        procs[key] = cluster.node(node_id).spawn(source_thread(key, index))
+    for node_id, index in targets:
+        key = f"tgt{index}"
+        procs[key] = cluster.node(node_id).spawn(target_thread(key, index))
+    cluster.run(until=_CHAOS_HORIZON)
+
+    for key, proc in procs.items():
+        if key not in outcomes:
+            if proc.is_alive:
+                raise RuntimeError(
+                    f"hang: endpoint {key} still blocked at the horizon "
+                    f"(seed={seed}, flow={flow_type}, mode={mode})")
+            outcomes[key] = "killed"
+    return outcomes, counts, cluster.now
+
+
+def run_chaos_case(case) -> dict:
+    """Worker: one chaos cell run twice; merges the no-hang and
+    bit-reproducibility invariants into a JSON-safe per-seed record."""
+    seed, flow_type, mode = case
+    first = _chaos_once(seed, flow_type, mode)
+    second = _chaos_once(seed, flow_type, mode)
+    outcomes, counts, now = first
+    return {
+        "seed": seed,
+        "flow": flow_type,
+        "mode": mode,
+        "outcomes": outcomes,
+        "tuple_counts": counts,
+        "final_time_ns": now,
+        "deterministic": first == second,
+        "legible": set(outcomes.values()) <= CHAOS_ALLOWED,
+    }
+
+
+# -- benchmark scripts -------------------------------------------------------
+
+def run_bench_script(case) -> dict:
+    """Worker: run one standalone bench script; returns its exit status
+    and output tail. ``case`` is ``(script_path, argv_tail, env_extra)``.
+    """
+    script, argv, env_extra = case
+    env = dict(os.environ)
+    env.update(env_extra or {})
+    proc = subprocess.run(
+        [sys.executable, script, *argv],
+        capture_output=True, text=True, env=env)
+    tail = (proc.stdout + proc.stderr).strip().splitlines()[-12:]
+    return {
+        "script": os.path.basename(script),
+        "args": list(argv),
+        "returncode": proc.returncode,
+        "output_tail": tail,
+    }

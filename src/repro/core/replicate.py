@@ -181,28 +181,34 @@ class _StagingBuffer:
 
     def __init__(self, descriptor: FlowDescriptor, payload_size: int) -> None:
         self.schema = descriptor.schema
+        # Bound once: ``room``/``full`` run per chunk on the batched push
+        # path and ``pack_many_into`` resolves to the schema's compiled
+        # kernel when codegen is on (see ``core/schema.py``).
+        self.tuple_size = descriptor.schema.tuple_size
+        self._pack_into = descriptor.schema.pack_into
+        self._pack_many_into = descriptor.schema.pack_many_into
         self.payload_size = payload_size
         self._buffer = bytearray(payload_size)
         self.used = 0
 
     def append(self, values: tuple) -> None:
-        self.schema.pack_into(self._buffer, self.used, values)
-        self.used += self.schema.tuple_size
+        self._pack_into(self._buffer, self.used, values)
+        self.used += self.tuple_size
 
     def append_many(self, tuples) -> None:
         """Pack a batch of tuples with one ``struct`` call; the caller
         checks :attr:`room` first."""
-        self.schema.pack_many_into(self._buffer, self.used, tuples)
-        self.used += self.schema.tuple_size * len(tuples)
+        self._pack_many_into(self._buffer, self.used, tuples)
+        self.used += self.tuple_size * len(tuples)
 
     @property
     def room(self) -> int:
         """How many more tuples fit before the buffer reads as full."""
-        return (self.payload_size - self.used) // self.schema.tuple_size
+        return (self.payload_size - self.used) // self.tuple_size
 
     @property
     def full(self) -> bool:
-        return self.used + self.schema.tuple_size > self.payload_size
+        return self.used + self.tuple_size > self.payload_size
 
     def take(self) -> bytes:
         payload = bytes(self._buffer[:self.used])

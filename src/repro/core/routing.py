@@ -75,7 +75,8 @@ def key_hash_router(schema: Schema, key: "str | int") -> RoutingFunction:
                     appends[hash(key_value) % target_count](values)
         return groups
 
-    route.route_many = route_many
+    compiled = schema.compiled_route_many(index, route_many)
+    route.route_many = compiled if compiled is not None else route_many
     return route
 
 

@@ -4,6 +4,27 @@ A :class:`Schema` is declared once at flow initialization (mirroring
 ``DFI_Schema({"key", int}, {"value", int})`` from the paper's Figure 1) and
 compiled to a ``struct.Struct`` — packing, unpacking and key extraction all
 run on precomputed offsets with zero per-tuple type interpretation.
+
+Schema specialization (the columnar hot path)
+---------------------------------------------
+On top of the generic ``struct`` machinery, each schema compiles a small
+set of *specialized kernels* from generated source (``exec``-cached per
+dtype-code string, so two schemas with the same wire layout share one
+kernel set):
+
+* ``pack_many_into`` / ``unpack_rows`` — flat batch (de)serializers with
+  the schema layout baked into the source;
+* hash-partition kernels for the shuffle router (integer keys skip the
+  per-tuple ``int`` probe entirely — the dtype proves it);
+* columnar combiner folds that aggregate straight out of packed segment
+  bytes, decoding only the group/value columns (every other field becomes
+  ``struct`` pad bytes).
+
+The kernels are wall-clock accelerators only: they emit bit-identical
+bytes, partitions and aggregates to the generic path, and none of them is
+ever consulted for a simulated-time decision. ``REPRO_NO_CODEGEN=1``
+(see :mod:`repro.common.config`) disables generation and leaves every
+call on the generic pure-``struct`` fallback.
 """
 
 from __future__ import annotations
@@ -12,8 +33,24 @@ import struct
 from dataclasses import dataclass
 from itertools import chain
 
+from repro.common.config import codegen_enabled
 from repro.common.errors import SchemaError
 from repro.core.types import DataType, resolve_type
+
+#: struct codes whose values are always Python ints (lets the router
+#: kernel drop the per-tuple integer probe).
+_INT_CODES = frozenset("bBhHiIqQ")
+
+#: Fibonacci-hash constants of :func:`repro.core.routing._fibonacci_hash_u64`
+#: (duplicated here for inlining into generated router source; the router
+#: tests pin the two definitions together).
+_HASH_MULT = 0x9E3779B97F4A7C15
+_HASH_MASK = (1 << 64) - 1
+
+#: Count-keyed batch-struct caches stop growing at this many entries;
+#: uncached counts fall back to power-of-two chunked packing instead of
+#: compiling a fresh ``struct.Struct`` per call.
+_BATCH_CACHE_CAP = 64
 
 
 @dataclass(frozen=True)
@@ -67,8 +104,22 @@ class Schema:
         #: segment on the target hot path.
         self._iter_unpack = self._struct.iter_unpack
         #: Compiled batch structs, keyed by tuple count (push_batch packs a
-        #: whole segment with a single struct call).
+        #: whole segment with a single struct call). Bounded: once
+        #: ``_BATCH_CACHE_CAP`` distinct counts are cached, new counts pack
+        #: through power-of-two chunks instead of compiling per call.
         self._batch_structs: dict[int, struct.Struct] = {}
+        #: Power-of-two chunk structs used by counts that miss the full
+        #: cache (bounded by the count's bit length, so ~60 entries max).
+        self._pow2_structs: dict[int, struct.Struct] = {}
+        #: Generated kernel set (``None`` under ``REPRO_NO_CODEGEN``).
+        self._kernels = None
+        if codegen_enabled():
+            kernels = _kernels_for(self._codes)
+            self._kernels = kernels
+            # Shadow the generic bound methods with the flat generated
+            # kernels (same signatures minus ``self``).
+            self.pack_many_into = kernels.pack_many_into
+            self.unpack_rows = kernels.unpack_rows
 
     # -- introspection -----------------------------------------------------
     @property
@@ -122,25 +173,54 @@ class Schema:
             raise SchemaError(
                 f"tuple {values!r} does not match schema: {exc}") from None
 
-    def _batch_struct(self, count: int) -> struct.Struct:
+    def _batch_struct(self, count: int) -> "struct.Struct | None":
+        """Batch struct for ``count`` tuples, or ``None`` once the cache
+        is full and ``count`` is uncached — callers then take the
+        power-of-two chunked path instead of compiling a throwaway
+        ``struct.Struct`` on every call."""
         compiled = self._batch_structs.get(count)
-        if compiled is None:
+        if compiled is None and len(self._batch_structs) < _BATCH_CACHE_CAP:
             compiled = struct.Struct("<" + self._codes * count)
-            if len(self._batch_structs) < 64:
-                self._batch_structs[count] = compiled
+            self._batch_structs[count] = compiled
+        return compiled
+
+    def _pow2_struct(self, count: int) -> struct.Struct:
+        """Batch struct for a power-of-two chunk (never evicted; at most
+        one entry per bit of the largest chunked count)."""
+        compiled = self._pow2_structs.get(count)
+        if compiled is None:
+            compiled = self._pow2_structs[count] = struct.Struct(
+                "<" + self._codes * count)
         return compiled
 
     def pack_many_into(self, buffer: bytearray, offset: int,
                        tuples) -> None:
         """Pack a sequence of tuples contiguously into ``buffer`` with one
-        ``struct`` call — the amortization behind the batched push path."""
+        ``struct`` call — the amortization behind the batched push path.
+
+        Counts beyond the batch-struct cache pack in power-of-two chunks
+        (identical bytes, no per-call compile). Schemas built with codegen
+        enabled shadow this method with the generated kernel of the same
+        contract.
+        """
         count = len(tuples)
         if count == 1:
             self.pack_into(buffer, offset, tuples[0])
             return
+        compiled = self._batch_struct(count)
         try:
-            self._batch_struct(count).pack_into(
-                buffer, offset, *chain.from_iterable(tuples))
+            if compiled is not None:
+                compiled.pack_into(
+                    buffer, offset, *chain.from_iterable(tuples))
+                return
+            size = self._struct.size
+            index = 0
+            while index < count:
+                chunk = 1 << ((count - index).bit_length() - 1)
+                self._pow2_struct(chunk).pack_into(
+                    buffer, offset + index * size,
+                    *chain.from_iterable(tuples[index:index + chunk]))
+                index += chunk
         except struct.error as exc:
             raise SchemaError(
                 f"batch of {count} tuples does not match schema: "
@@ -197,6 +277,48 @@ class Schema:
         return [view[offset:offset + size]
                 for offset in range(0, span, size)]
 
+    # -- specialized kernels ----------------------------------------------
+    def compiled_route_many(self, key_index: int, generic_route_many):
+        """Generated hash-partition kernel for shuffling on field
+        ``key_index``, or ``None`` when codegen is off or the key dtype
+        is not a statically-known integer.
+
+        The kernel produces exactly the partitions of
+        ``generic_route_many`` (same Fibonacci hash, same power-of-two
+        mask folding); on any ``TypeError`` — a value that does not match
+        the declared dtype — it discards its partial groups and replays
+        the whole batch through ``generic_route_many``, so even the
+        mistyped-batch behaviour is bit-identical to the fallback.
+        """
+        if self._kernels is None:
+            return None
+        if self._fields[key_index].dtype.code not in _INT_CODES:
+            return None
+        return self._kernels.route_many(key_index, generic_route_many)
+
+    def fold_kernel(self, group_index: int, value_index: int, op: str):
+        """Columnar combiner-fold factory for this schema, or ``None``
+        when codegen is off or ``op`` is unknown.
+
+        The factory is called as ``factory(get, put)`` with the aggregate
+        table's bound ``dict.get``/``dict.__setitem__`` and returns
+        ``fold_chunks(chunks) -> folded_tuple_count``: it aggregates
+        straight out of packed segment bytes, decoding only the group and
+        value columns (all other fields are ``struct`` pad bytes in the
+        generated format), and folds in exactly the order the generic
+        row-tuple loop would have.
+        """
+        if self._kernels is None or op not in ("sum", "count", "min",
+                                               "max"):
+            return None
+        return self._kernels.fold_factory(self._fields, group_index,
+                                          value_index, op)
+
+    @property
+    def codegen_active(self) -> bool:
+        """True when this schema carries generated kernels."""
+        return self._kernels is not None
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Schema):
             return NotImplemented
@@ -208,3 +330,260 @@ class Schema:
     def __repr__(self) -> str:
         cols = ", ".join(f"{f.name}:{f.dtype.name}" for f in self._fields)
         return f"<Schema [{cols}] size={self.tuple_size}>"
+
+
+# ---------------------------------------------------------------------------
+# Generated kernels (the columnar hot path)
+# ---------------------------------------------------------------------------
+#
+# One kernel set per dtype-code string, built by exec-ing specialized
+# source with the layout constants inlined. The cache below makes kernel
+# construction O(1) after the first schema of a given layout — flow setup
+# creates many short-lived Schema objects in tests.
+
+#: codes -> _SchemaKernels (process-global; kernels are stateless apart
+#: from their struct caches, so sharing across schemas is safe).
+_KERNEL_CACHE: dict = {}
+
+
+def _kernels_for(codes: str) -> "_SchemaKernels":
+    kernels = _KERNEL_CACHE.get(codes)
+    if kernels is None:
+        kernels = _KERNEL_CACHE[codes] = _SchemaKernels(codes)
+    return kernels
+
+
+_PACK_UNPACK_TEMPLATE = '''\
+_S = _Struct("<" + _CODES)
+_PACK_INTO_1 = _S.pack_into
+_ITER_UNPACK = _S.iter_unpack
+_BATCH = {}
+_POW2 = {}
+
+
+def _batch_struct(count):
+    s = _BATCH.get(count)
+    if s is None and len(_BATCH) < _CACHE_CAP:
+        s = _BATCH[count] = _Struct("<" + _CODES * count)
+    return s
+
+
+def _pow2_struct(count):
+    s = _POW2.get(count)
+    if s is None:
+        s = _POW2[count] = _Struct("<" + _CODES * count)
+    return s
+
+
+def pack_many_into(buffer, offset, tuples):
+    """Generated batch packer for schema layout %(codes)r."""
+    count = len(tuples)
+    if count == 1:
+        try:
+            _PACK_INTO_1(buffer, offset, *tuples[0])
+        except _struct_error as exc:
+            raise _SchemaError(
+                f"tuple {tuples[0]!r} does not match schema: {exc}"
+            ) from None
+        return
+    compiled = _batch_struct(count)
+    try:
+        if compiled is not None:
+            compiled.pack_into(buffer, offset, *_flat(tuples))
+            return
+        index = 0
+        while index < count:
+            chunk = 1 << ((count - index).bit_length() - 1)
+            _pow2_struct(chunk).pack_into(
+                buffer, offset + index * %(size)d,
+                *_flat(tuples[index:index + chunk]))
+            index += chunk
+    except _struct_error as exc:
+        raise _SchemaError(
+            f"batch of {count} tuples does not match schema: {exc}"
+        ) from None
+
+
+def unpack_rows(buffer):
+    """Generated row-block unpacker for schema layout %(codes)r."""
+    try:
+        return list(_ITER_UNPACK(buffer))
+    except _struct_error as exc:
+        raise _SchemaError(
+            f"cannot unpack {len(buffer)} bytes as "
+            f"%(size)d-byte tuples: {exc}") from None
+'''
+
+_ROUTE_TEMPLATE = '''\
+def %(name)s(tuples, target_count):
+    """Generated hash partitioner (key field %(key_index)d, int dtype)."""
+    groups = [[] for _ in range(target_count)]
+    try:
+        if target_count & (target_count - 1) == 0:
+            low = target_count - 1
+            appends = [group.append for group in groups]
+            for values in tuples:
+                appends[(values[%(key_index)d] * %(mult)d
+                         & %(mask)d) >> 32 & low](values)
+        else:
+            appends = [group.append for group in groups]
+            for values in tuples:
+                appends[((values[%(key_index)d] * %(mult)d
+                          & %(mask)d) >> 32) %% target_count](values)
+    except (TypeError, OverflowError):
+        # A value defied its declared integer dtype (str keys raise
+        # OverflowError from sequence repetition, most others TypeError):
+        # replay the whole batch through the generic router (partial
+        # groups discarded), reproducing its isinstance semantics.
+        return %(generic)s(tuples, target_count)
+    return groups
+'''
+
+_FOLD_TEMPLATE = '''\
+def %(name)s(get, put):
+    """Generated columnar fold factory (%(op)s) for layout %(codes)r."""
+    _iter_pairs = _Struct(%(fmt)r).iter_unpack
+
+    def fold_chunks(chunks):
+        folded = 0
+        for chunk in chunks:
+            folded += len(chunk)
+%(body)s
+        return folded // %(size)d
+
+    return fold_chunks
+'''
+
+#: Inner loop bodies per (op, column order). ``%(head)s`` is the loop
+#: header unpacking the selective struct's yield into group/value.
+_FOLD_BODIES = {
+    "sum": """\
+            for {head} in _iter_pairs(chunk):
+                current = get(group)
+                put(group, value if current is None else current + value)""",
+    "count": """\
+            for (group,) in _iter_pairs(chunk):
+                current = get(group)
+                put(group, 1 if current is None else current + 1)""",
+    "min": """\
+            for {head} in _iter_pairs(chunk):
+                current = get(group)
+                if current is None or value < current:
+                    put(group, value)""",
+    "max": """\
+            for {head} in _iter_pairs(chunk):
+                current = get(group)
+                if current is None or value > current:
+                    put(group, value)""",
+}
+
+
+def _selective_format(fields, indices) -> str:
+    """Little-endian struct format decoding only ``indices`` of a packed
+    row; every other byte is padding. One row in, one tuple out (field
+    order), so ``iter_unpack`` walks a segment of rows directly."""
+    wanted = sorted(set(indices))
+    parts = ["<"]
+    position = 0
+    for index in wanted:
+        field = fields[index]
+        if field.offset > position:
+            parts.append(f"{field.offset - position}x")
+        parts.append(field.dtype.code)
+        position = field.offset + field.dtype.size
+    total = fields[-1].offset + fields[-1].dtype.size
+    if total > position:
+        parts.append(f"{total - position}x")
+    return "".join(parts)
+
+
+class _SchemaKernels:
+    """Kernel set generated for one dtype-code string."""
+
+    __slots__ = ("codes", "_namespace", "pack_many_into", "unpack_rows",
+                 "_route_cache", "_fold_cache")
+
+    def __init__(self, codes: str) -> None:
+        self.codes = codes
+        compiled = struct.Struct("<" + codes)
+        namespace = {
+            "_Struct": struct.Struct,
+            "_struct_error": struct.error,
+            "_SchemaError": SchemaError,
+            "_flat": chain.from_iterable,
+            "_CODES": codes,
+            "_CACHE_CAP": _BATCH_CACHE_CAP,
+        }
+        source = _PACK_UNPACK_TEMPLATE % {
+            "codes": codes, "size": compiled.size}
+        exec(compile(source, f"<schema-kernels {codes!r}>", "exec"),
+             namespace)
+        self._namespace = namespace
+        self.pack_many_into = namespace["pack_many_into"]
+        self.unpack_rows = namespace["unpack_rows"]
+        self._route_cache: dict = {}
+        self._fold_cache: dict = {}
+
+    def route_many(self, key_index: int, generic_route_many):
+        """Hash-partition kernel for ``key_index`` (see
+        :meth:`Schema.compiled_route_many`). The generic fallback is
+        rebound per call site — kernels are shared across schemas, but
+        every generated router of a given key index shares one body."""
+        kernel = self._route_cache.get(key_index)
+        if kernel is None:
+            name = f"_route_many_k{key_index}"
+            generic_name = f"_generic_route_k{key_index}"
+            source = _ROUTE_TEMPLATE % {
+                "name": name, "key_index": key_index,
+                "mult": _HASH_MULT, "mask": _HASH_MASK,
+                "generic": generic_name,
+            }
+            exec(compile(source,
+                         f"<schema-router {self.codes!r}[{key_index}]>",
+                         "exec"), self._namespace)
+            kernel = self._route_cache[key_index] = (
+                self._namespace[name], generic_name)
+        route, generic_name = kernel
+        # The TypeError fallback dispatches through the namespace so the
+        # kernel body stays shared; the latest generic is always correct
+        # because every generic router of (codes, key) behaves alike.
+        self._namespace[generic_name] = generic_route_many
+        return route
+
+    def fold_factory(self, fields, group_index: int, value_index: int,
+                     op: str):
+        """Columnar fold factory (see :meth:`Schema.fold_kernel`)."""
+        key = (group_index, value_index, op)
+        factory = self._fold_cache.get(key)
+        if factory is None:
+            if op == "count" or group_index == value_index:
+                fmt = _selective_format(fields, (group_index,))
+            else:
+                fmt = _selective_format(fields,
+                                        (group_index, value_index))
+            if op == "count":
+                head = "(group,)"
+            elif group_index == value_index:
+                head = "(group,)"
+            elif group_index < value_index:
+                head = "(group, value)"
+            else:
+                head = "(value, group)"
+            body = _FOLD_BODIES[op].format(head=head)
+            if op != "count" and group_index == value_index:
+                # Single decoded column doubles as group and value.
+                body = body.replace("_iter_pairs(chunk):",
+                                    "_iter_pairs(chunk):\n"
+                                    "                value = group",
+                                    1)
+            name = f"_fold_{group_index}_{value_index}_{op}"
+            size = fields[-1].offset + fields[-1].dtype.size
+            source = _FOLD_TEMPLATE % {
+                "name": name, "op": op, "codes": self.codes,
+                "fmt": fmt, "body": body, "size": size,
+            }
+            exec(compile(source,
+                         f"<schema-fold {self.codes!r} {op}>", "exec"),
+                 self._namespace)
+            factory = self._fold_cache[key] = self._namespace[name]
+        return factory

@@ -1094,7 +1094,7 @@ class TargetChannel:
         mem = self.ring.region.mem
         offsets = self._footer_offsets
         segment_count = len(offsets)
-        payload_view = self.ring.payload_view
+        payload_rows_view = self.ring.payload_rows_view
         append = out.append
         tuple_size = self.schema.tuple_size
         index = self._index
@@ -1120,7 +1120,9 @@ class TargetChannel:
                 if flags & FLAG_CLOSED:
                     self.done = True
             if used:
-                append(payload_view(index, used))
+                # Whole-row contract checked at the segment layer: the
+                # chunks feed columnar fold/unpack kernels downstream.
+                append(payload_rows_view(index, used, tuple_size))
                 received += used // tuple_size
             if metrics is not None:
                 self._note_segment(

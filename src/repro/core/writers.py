@@ -129,7 +129,9 @@ class FooterRingWriter:
         rkey = handle.rkey
         slot_size = self.slot_size
         segment_size = handle.segment_size
+        segment_count = handle.segment_count
         interval = self._signal_interval
+        post_write = self.qp.post_write
         wr = None
         index = 0
         total = len(segments)
@@ -145,20 +147,27 @@ class FooterRingWriter:
                 yield from self._acquire_window()
             take = min(self._window_left, total - index,
                        interval - self._since_signal)
+            # Per-chunk state lives in locals across the inner loop; the
+            # chunk bound guarantees only its last WQE can be signaled.
+            remote_index = self._remote_index
+            since_signal = self._since_signal
             for payload, flags, seq in segments[index:index + take]:
-                signaled = self._since_signal + 1 >= interval
-                footer = pack_footer(segment_size, flags, seq, source_index)
-                wr = self.qp.post_write(
-                    [payload, footer], rkey,
-                    self._remote_index * slot_size, signaled=signaled,
+                since_signal += 1
+                signaled = since_signal >= interval
+                wr = post_write(
+                    [payload,
+                     pack_footer(segment_size, flags, seq, source_index)],
+                    rkey, remote_index * slot_size, signaled=signaled,
                     doorbell=False)
                 if signaled:
                     self._signal_wr = wr
-                self._since_signal += 1
-                self.segments_written += 1
-                self._remote_index = (self._remote_index + 1
-                                      ) % handle.segment_count
-                self._window_left -= 1
+                remote_index += 1
+                if remote_index == segment_count:
+                    remote_index = 0
+            self._remote_index = remote_index
+            self._since_signal = since_signal
+            self.segments_written += take
+            self._window_left -= take
             index += take
             if self._metrics is not None:
                 self._metrics.inc("core.segments_written", take)

@@ -44,8 +44,20 @@ def _as_bytes(payload: bytes | bytearray | memoryview) -> bytes:
 
 
 def _action_when(action) -> float:
-    """Sort key for (when, fn) train actions (stable on equal times)."""
+    """Sort key for (when, fn, arg) train actions (stable on equal
+    times)."""
     return action[0]
+
+
+def _commit_write(args) -> None:
+    """Shared train action: commit one write's payload pieces to remote
+    memory. ``args`` is a ``(region, base, parts)`` record — one shared
+    function plus a tuple per WQE replaces a closure per WQE on the
+    fault-free train path."""
+    region, base, parts = args
+    write = region.write
+    for piece_offset, chunk in parts:
+        write(base + piece_offset, chunk)
 
 
 #: A scatter-gather payload: one buffer or a sequence of buffers that are
@@ -72,6 +84,12 @@ def _gather_chunks(payload, assume_stable: bool) -> list:
 class QueuePair:
     """A reliable-connection queue pair bound to one remote node."""
 
+    __slots__ = ("nic", "env", "qpn", "node", "remote_node", "send_cq",
+                 "recv_cq", "_peer", "_recv_queue", "_pending_rx",
+                 "_staged", "_metrics", "_obs_wqes_posted",
+                 "_obs_wqes_signaled", "_obs_trains", "_obs_train_hist",
+                 "_ack_delta", "_inline_max", "_remote_nic")
+
     def __init__(self, nic: RNic, qpn: int, remote_node: Node,
                  send_cq: CompletionQueue, recv_cq: CompletionQueue) -> None:
         self.nic = nic
@@ -87,6 +105,17 @@ class QueuePair:
         #: WQEs staged by ``post_write(doorbell=False)`` awaiting the
         #: explicit ``ring_doorbell()``.
         self._staged: list = []
+        #: Path constants precomputed once per QP: the profile is frozen
+        #: and the endpoints never change, so the per-train code reads
+        #: attributes instead of re-deriving them per WQE.
+        profile = nic.profile
+        self._ack_delta = (profile.loopback_latency
+                           if remote_node is nic.node
+                           else profile.wire_latency)
+        self._inline_max = profile.max_inline_size
+        #: Remote NIC, resolved lazily (the peer NIC may not exist yet at
+        #: QP construction time).
+        self._remote_nic: "RNic | None" = None
         #: Cached per-node metrics registry (``None`` while observability
         #: is off — enable it before creating queue pairs). The WQE/train
         #: tallies below are plain attribute adds on the hot path; the
@@ -161,10 +190,23 @@ class QueuePair:
         return wr
 
     def _ack_latency(self) -> float:
-        profile = self.nic.profile
-        if self.remote_node is self.node:
-            return profile.loopback_latency
-        return profile.wire_latency
+        return self._ack_delta
+
+    def _get_remote_nic(self) -> "RNic":
+        remote_nic = self._remote_nic
+        if remote_nic is None:
+            remote_nic = self._remote_nic = get_nic(self.remote_node)
+        return remote_nic
+
+    def _finish_signaled(self, args) -> None:
+        """Shared train action: complete a signaled WQE and push its CQ
+        entry. ``args`` is a ``(wr, size)`` record (see
+        :func:`_commit_write` for the record rationale)."""
+        wr, size = args
+        wr._complete(None)
+        self.send_cq.push(Completion(
+            wr_id=wr.wr_id, opcode=wr.opcode,
+            status=WcStatus.SUCCESS, byte_len=size))
 
     def _finish(self, wr: WorkRequest, delay: float, byte_len: int,
                 result: Any = None) -> None:
@@ -259,9 +301,9 @@ class QueuePair:
             fault_delay = admit
         else:
             fault_delay = 0.0
-        remote_region = get_nic(self.remote_node).region(remote_rkey)
+        remote_region = self._get_remote_nic().region(remote_rkey)
         remote_region.check_range(remote_offset, size)
-        inline = size <= self.nic.profile.max_inline_size
+        inline = size <= self._inline_max
         offset_delay = self.nic.engine_delay(inline) + fault_delay
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
@@ -395,8 +437,9 @@ class QueuePair:
         if faults is not None:
             return self._post_train_faulted(entries, faults)
         nic = self.nic
-        remote_nic = get_nic(self.remote_node)
-        inline_max = nic.profile.max_inline_size
+        remote_nic = self._get_remote_nic()
+        inline_max = self._inline_max
+        ack_latency = self._ack_delta
         if len(entries) == 1:
             # Trains of one are the common shape on hash-routed shuffles
             # (each channel's share of a batch is about one segment);
@@ -409,26 +452,14 @@ class QueuePair:
             nic.bytes_posted += size
             arrival = self._fabric().unicast_train(
                 self.node, self.remote_node, [size], delays)[0]
-
-            def commit(region=region, base=offset, parts=pieces):
-                for piece_offset, chunk in parts:
-                    region.write(base + piece_offset, chunk)
-
-            ack_at = arrival + self._ack_latency()
+            ack_at = arrival + ack_latency
+            commit = (arrival, _commit_write, (region, offset, pieces))
             if wr.signaled:
-                send_cq = self.send_cq
-
-                def finish(wr=wr, size=size):
-                    wr._complete(None)
-                    send_cq.push(Completion(
-                        wr_id=wr.wr_id, opcode=wr.opcode,
-                        status=WcStatus.SUCCESS, byte_len=size))
-
-                self.env.schedule_train([(arrival, commit),
-                                         (ack_at, finish)])
+                self.env.schedule_train(
+                    [commit, (ack_at, self._finish_signaled, (wr, size))])
             else:
                 wr._complete_at(ack_at)
-                self.env.schedule_train([(arrival, commit)])
+                self.env.schedule_train([commit])
             return [wr]
         sizes = []
         inlines = []
@@ -445,29 +476,18 @@ class QueuePair:
         nic.bytes_posted += total
         arrivals = self._fabric().unicast_train(self.node, self.remote_node,
                                                 sizes, delays)
-        ack_latency = self._ack_latency()
         actions = []
-        send_cq = self.send_cq
+        finish_signaled = self._finish_signaled
         last = len(entries) - 1
         needs_sort = False
         for position, ((wr, size, pieces, rkey, offset), region,
                        arrival) in enumerate(zip(entries, regions,
                                                  arrivals)):
-
-            def commit(region=region, base=offset, parts=pieces):
-                for piece_offset, chunk in parts:
-                    region.write(base + piece_offset, chunk)
-
-            actions.append((arrival, commit))
+            actions.append((arrival, _commit_write,
+                            (region, offset, pieces)))
             ack_at = arrival + ack_latency
             if wr.signaled:
-                def finish(wr=wr, size=size):
-                    wr._complete(None)
-                    send_cq.push(Completion(
-                        wr_id=wr.wr_id, opcode=wr.opcode,
-                        status=WcStatus.SUCCESS, byte_len=size))
-
-                actions.append((ack_at, finish))
+                actions.append((ack_at, finish_signaled, (wr, size)))
                 # A mid-train ack interleaves with later arrivals; a
                 # trailing ack (the selective-signaling shape) lands at or
                 # after the last arrival, so order is already correct.
@@ -496,7 +516,7 @@ class QueuePair:
         env = self.env
         nic = self.nic
         inline_max = nic.profile.max_inline_size
-        remote_nic = get_nic(self.remote_node)
+        remote_nic = self._get_remote_nic()
         fabric = self._fabric()
         loopback = self.remote_node is self.node
         uplink = None if loopback else self.node.uplink
@@ -560,7 +580,7 @@ class QueuePair:
             if admit is None:
                 return self._flush_wr(Opcode.READ, wr_id, signaled, faults)
             fault_delay = admit
-        remote_region = get_nic(self.remote_node).region(remote_rkey)
+        remote_region = self._get_remote_nic().region(remote_rkey)
         remote_region.check_range(remote_offset, length)
         local_region.check_range(local_offset, length)
         offset_delay = self.nic.engine_delay(inline=True) + fault_delay
@@ -600,7 +620,7 @@ class QueuePair:
     def _post_atomic(self, opcode: Opcode, remote_rkey: int,
                      remote_offset: int, apply, signaled: bool,
                      wr_id: Any) -> WorkRequest:
-        remote_region = get_nic(self.remote_node).region(remote_rkey)
+        remote_region = self._get_remote_nic().region(remote_rkey)
         remote_region.check_range(remote_offset, 8)
         if self._metrics is not None:
             self._metrics.inc("rdma.atomics_posted")
@@ -689,7 +709,7 @@ class QueuePair:
             fault_delay = admit
         else:
             fault_delay = 0.0
-        inline = size <= self.nic.profile.max_inline_size
+        inline = size <= self._inline_max
         offset_delay = self.nic.engine_delay(inline) + fault_delay
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
@@ -781,6 +801,8 @@ class UdQueuePair:
     or when the receiver has no receive request posted — the condition DFI's
     credit-based receive-queue pre-population exists to avoid.
     """
+
+    __slots__ = ("nic", "env", "qpn", "node", "recv_cq", "_recv_queue")
 
     def __init__(self, nic: RNic, qpn: int, recv_cq: CompletionQueue) -> None:
         self.nic = nic

@@ -34,6 +34,21 @@ _PENDING = object()
 #: Upper bound on recycled Timeout objects kept by an Environment.
 _TIMEOUT_POOL_CAP = 256
 
+#: Calendar-queue geometry for timed events. Bucket width is
+#: ``1 << _CAL_SHIFT`` ns: 2048 ns keeps the sub-microsecond hot-path
+#: timers (NIC service intervals, CPU charges, wire latency) in the
+#: near-term front heap while pushing slow timers (retransmit guards,
+#: doorbell-train tails) out of it. The ring covers
+#: ``_CAL_RING << _CAL_SHIFT`` ns (~524 µs); anything beyond spills to
+#: an overflow heap.
+_CAL_SHIFT = 11
+_CAL_RING = 256
+_CAL_MASK = _CAL_RING - 1
+#: Beyond-any-bucket threshold (~146 years of simulated ns): entries at
+#: or past this (e.g. a hypothetical ``inf`` timer) are heap-ordered in
+#: the spill lane and never converted to a bucket number.
+_CAL_FAR = float(1 << 62)
+
 
 class Event:
     """A one-shot occurrence in simulated time.
@@ -333,29 +348,51 @@ class AnyOf(Condition):
 class Environment:
     """The simulation kernel: clock, event queue, and run loop.
 
-    Two scheduling fast paths keep the hot loop cheap without changing
-    observable order:
+    Timed events live in a two-lane calendar scheduler; together with the
+    zero-delay deque three fast paths keep the hot loop cheap without
+    changing observable order:
 
     * zero-delay events (process resumes, ``succeed()`` wakeups — the vast
-      majority) bypass the heap into a FIFO deque. Both structures order
+      majority) bypass the heap into a FIFO deque. All structures order
       by ``(time, sequence)``, and :meth:`step` always pops the global
       minimum, so tie-breaking stays bit-for-bit identical to a pure heap;
+    * timed events within the current calendar bucket go straight into a
+      small front heap (``_queue``); later events wait in unsorted
+      per-bucket lists (``_buckets``) or, past the ring horizon, in an
+      overflow heap (``_spill``), and are bulk-``heapify``'d into the
+      front heap only when the clock reaches their bucket. The front heap
+      stays shallow no matter how many far-future timers are pending
+      (timeout storms, retransmit guards under fault plans);
     * :meth:`pooled_timeout` recycles processed :class:`Timeout` objects
       for fire-and-forget timers (NIC engine delays, CPU-cost charges)
       whose references are dropped once they fire.
     """
 
     __slots__ = ("_now", "_queue", "_immediate", "_sequence",
-                 "_active_process", "_timeout_pool")
+                 "_active_process", "_timeout_pool", "_base", "_horizon",
+                 "_buckets", "_bucket_count", "_spill", "_spill_floor")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
+        #: Front heap: timed events in the current calendar bucket (or
+        #: earlier — late pushes land here too).
         self._queue: list[tuple[float, int, Event]] = []
         #: Zero-delay events in FIFO order (times are non-decreasing).
         self._immediate: deque[tuple[float, int, Event]] = deque()
         self._sequence = 0
         self._active_process: Process | None = None
         self._timeout_pool: list[Timeout] = []
+        #: Calendar state. ``_base`` is the current bucket number
+        #: (``int(time) >> _CAL_SHIFT``); ``_horizon``/``_spill_floor``
+        #: are its precomputed float time bounds so the scheduling fast
+        #: path is a single comparison, with no float->int conversion.
+        base = int(self._now) >> _CAL_SHIFT
+        self._base = base
+        self._horizon = float((base + 1) << _CAL_SHIFT)
+        self._buckets: list[list] = [[] for _ in range(_CAL_RING)]
+        self._bucket_count = 0
+        self._spill: list[tuple[float, int, Event]] = []
+        self._spill_floor = float((base + _CAL_RING) << _CAL_SHIFT)
 
     @property
     def now(self) -> float:
@@ -430,16 +467,18 @@ class Environment:
         self._schedule_abs(timer, when)
 
     def schedule_train(self, actions) -> None:
-        """Batch-schedule API: run a train of ``(when, fn)`` actions, each
-        at its exact absolute timestamp, using a *single* in-flight
-        recycled timer that walks the train instead of one queued event
-        per action.
+        """Batch-schedule API: run a train of ``(when, fn, arg)`` actions,
+        each ``fn(arg)`` at its exact absolute timestamp, using a *single*
+        in-flight recycled timer that walks the train instead of one
+        queued event per action.
 
         ``actions`` must be sorted by non-decreasing ``when``. This is the
         kernel half of doorbell batching: a train of segment commits costs
         one live queue entry at any moment, yet every action still fires
         at the same ``(time, ...)`` key a per-action ``Timeout`` would
-        have used.
+        have used. The ``(when, fn, arg)`` record shape lets callers share
+        one function across the train and keep per-action state in a plain
+        tuple instead of a closure.
         """
         if not actions:
             return
@@ -450,11 +489,11 @@ class Environment:
             nonlocal index
             now = self._now
             while index < total:
-                when, fn = actions[index]
-                if when > now:
+                action = actions[index]
+                if action[0] > now:
                     break
                 index += 1
-                fn()
+                action[1](action[2])
             if index < total:
                 self._chain_timer(actions[index][0], fire)
 
@@ -505,8 +544,11 @@ class Environment:
             # merge both structures in exact heap order.
             self._immediate.append((self._now, self._sequence, event))
         else:
-            heapq.heappush(self._queue,
-                           (self._now + delay, self._sequence, event))
+            when = self._now + delay
+            if when < self._horizon:
+                heapq.heappush(self._queue, (when, self._sequence, event))
+            else:
+                self._far_push((when, self._sequence, event))
 
     def _schedule_abs(self, event: Event, when: float) -> None:
         """Schedule ``event`` at the absolute time ``when`` (clamped to
@@ -519,12 +561,82 @@ class Environment:
         self._sequence += 1
         if when <= self._now:
             self._immediate.append((self._now, self._sequence, event))
-        else:
+        elif when < self._horizon:
             heapq.heappush(self._queue, (when, self._sequence, event))
+        else:
+            self._far_push((when, self._sequence, event))
+
+    def _far_push(self, entry: tuple[float, int, Event]) -> None:
+        """File a timed entry past the current bucket: unsorted in its
+        ring bucket when within the calendar window, else on the spill
+        heap. Sorting is deferred to :meth:`_refill`."""
+        when = entry[0]
+        if when < self._spill_floor:
+            self._buckets[(int(when) >> _CAL_SHIFT) & _CAL_MASK
+                          ].append(entry)
+            self._bucket_count += 1
+        else:
+            heapq.heappush(self._spill, entry)
+
+    def _refill(self) -> None:
+        """Advance the calendar until the front heap holds the earliest
+        pending timed events (caller guarantees buckets or spill are
+        non-empty when the front heap is empty).
+
+        Walks one bucket at a time while any bucket holds entries (a
+        non-empty bucket is always within the ring window, so the walk is
+        bounded by the ring size); with the ring empty it jumps straight
+        to the spill head's bucket. Each slot the base passes is drained
+        into the front heap *before* any push could re-map the slot to a
+        bucket one window ahead, preserving the one-bucket-per-slot
+        invariant. Entries surface in a single bulk ``heapify``, so the
+        per-event cost stays O(1) amortized plus one shallow heap sift.
+        """
+        queue = self._queue
+        buckets = self._buckets
+        spill = self._spill
+        base = self._base
+        bucket_count = self._bucket_count
+        while not queue:
+            if bucket_count:
+                base += 1
+                ring = buckets[base & _CAL_MASK]
+                if ring:
+                    bucket_count -= len(ring)
+                    queue.extend(ring)
+                    del ring[:]
+            elif spill:
+                head = spill[0][0]
+                if head >= _CAL_FAR:
+                    # Beyond bucket arithmetic (inf-like timers): the
+                    # spill heap itself is the right order — drain it.
+                    queue.extend(spill)
+                    del spill[:]
+                    break
+                base = int(head) >> _CAL_SHIFT
+            else:
+                break
+            # Spill entries whose bucket the base has reached (or jumped
+            # past) belong in the front heap now.
+            floor = float((base + 1) << _CAL_SHIFT)
+            while spill and spill[0][0] < floor:
+                queue.append(heapq.heappop(spill))
+        heapq.heapify(queue)
+        self._base = base
+        self._bucket_count = bucket_count
+        self._horizon = float((base + 1) << _CAL_SHIFT)
+        self._spill_floor = float((base + _CAL_RING) << _CAL_SHIFT)
 
     def _pop_next(self) -> tuple[float, int, Event]:
-        """Pop the globally next (time, sequence) event from the heap or
-        the zero-delay deque."""
+        """Pop the globally next (time, sequence) event from the timed
+        lanes or the zero-delay deque.
+
+        Zero-delay entries carry times at or before ``now`` while every
+        bucketed/spilled entry lies at or past the bucket horizon (which
+        is past ``now``), so the deque-vs-front-heap comparison alone
+        decides the global order; the calendar only needs consulting when
+        both near-term structures are empty.
+        """
         immediate = self._immediate
         queue = self._queue
         if immediate:
@@ -535,6 +647,8 @@ class Environment:
                                           and head[1] < first[1]):
                     return heapq.heappop(queue)
             return immediate.popleft()
+        if not queue and (self._bucket_count or self._spill):
+            self._refill()
         if queue:
             return heapq.heappop(queue)
         raise SimulationError("event queue is empty")
@@ -575,11 +689,17 @@ class Environment:
         immediate = self._immediate
         step = self.step
         if stop_event is None and stop_time is None:
-            # Hot path: drain everything, no per-step stop checks.
-            while queue or immediate:
-                step()
-            return None
-        while queue or immediate:
+            # Hot path: drain everything, no per-step stop checks. The
+            # inner loop touches only the near-term lanes; the calendar
+            # is consulted just once per full near-term drain.
+            while True:
+                while queue or immediate:
+                    step()
+                if self._bucket_count or self._spill:
+                    self._refill()
+                else:
+                    return None
+        while (queue or immediate or self._bucket_count or self._spill):
             if stop_event is not None and stop_event._processed:
                 return stop_event.value
             if stop_time is not None and self.peek() > stop_time:
@@ -598,8 +718,11 @@ class Environment:
 
     def peek(self) -> float:
         """Time of the next queued event, or ``inf`` if the queue is empty."""
+        queue = self._queue
+        if not queue and (self._bucket_count or self._spill):
+            self._refill()
         if self._immediate:
             when = self._immediate[0][0]
-            if not self._queue or when <= self._queue[0][0]:
+            if not queue or when <= queue[0][0]:
                 return when
-        return self._queue[0][0] if self._queue else float("inf")
+        return queue[0][0] if queue else float("inf")

@@ -23,10 +23,14 @@ def test_schedule_at_fires_callback_at_time():
 def test_schedule_train_fires_actions_in_order():
     env = Environment()
     fired = []
-    env.schedule_train([(1.0, lambda: fired.append(("a", env.now))),
-                        (3.0, lambda: fired.append(("b", env.now))),
-                        (3.0, lambda: fired.append(("c", env.now))),
-                        (7.5, lambda: fired.append(("d", env.now)))])
+
+    def record(tag):
+        fired.append((tag, env.now))
+
+    env.schedule_train([(1.0, record, "a"),
+                        (3.0, record, "b"),
+                        (3.0, record, "c"),
+                        (7.5, record, "d")])
     env.run()
     assert fired == [("a", 1.0), ("b", 3.0), ("c", 3.0), ("d", 7.5)]
 
@@ -37,8 +41,8 @@ def test_schedule_train_interleaves_with_other_events():
     env = Environment()
     fired = []
     env.schedule_at(2.0, lambda: fired.append("solo"))
-    env.schedule_train([(1.0, lambda: fired.append("t1")),
-                        (3.0, lambda: fired.append("t3"))])
+    env.schedule_train([(1.0, fired.append, "t1"),
+                        (3.0, fired.append, "t3")])
     env.run()
     assert fired == ["t1", "solo", "t3"]
 

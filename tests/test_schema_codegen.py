@@ -1,0 +1,286 @@
+"""Compiled-vs-generic equivalence for the schema codegen layer.
+
+The contract under test: every generated kernel (pack, unpack, route,
+fold) is a *wall-clock* accelerator only — byte-identical output,
+identical partitions and aggregates, identical error types and messages
+to the generic ``struct`` path, across every dtype, field offset, batch
+size, and combiner operator. Plus the determinism capstone: a full
+simulated flow lands on bit-identical simulated time and results with
+codegen on and off (the in-process equivalent of running the fingerprint
+under ``REPRO_NO_CODEGEN=1``).
+"""
+
+import pytest
+
+from repro.common import config
+from repro.common.errors import SchemaError
+from repro.core import Schema
+from repro.core.routing import key_hash_router
+from repro.core.types import BUILTIN_TYPES, fixed_bytes
+
+#: Exercise values per dtype (chosen to round-trip exactly, including
+#: negative, zero, and near-boundary encodings).
+_VALUES = {
+    "int8": (-128, -1, 0, 127),
+    "uint8": (0, 1, 200, 255),
+    "int16": (-32768, -7, 0, 32767),
+    "uint16": (0, 9, 65535, 4096),
+    "int32": (-2**31, -42, 0, 2**31 - 1),
+    "uint32": (0, 13, 2**32 - 1, 7),
+    "int64": (-2**63, -1, 0, 2**63 - 1),
+    "uint64": (0, 1, 2**64 - 1, 0x9E3779B97F4A7C15),
+    "float": (0.0, 1.5, -2.25, 1024.0),
+    "double": (0.0, 3.141592653589793, -1e300, 2.0**-52),
+    "char": (b"a", b"\x00", b"\xff", b"z"),
+}
+
+BATCH_SIZES = (0, 1, 2, 7, 64, 100, 1024)
+
+
+def _schemas(*fields):
+    """The same layout built twice: with generated kernels and without.
+
+    Both legs are forced explicitly so this suite tests the same
+    contract whether or not the host set ``REPRO_NO_CODEGEN``.
+    """
+    saved = config.CODEGEN_ENABLED
+    try:
+        config.CODEGEN_ENABLED = True
+        compiled = Schema(*fields)
+        config.CODEGEN_ENABLED = False
+        generic = Schema(*fields)
+    finally:
+        config.CODEGEN_ENABLED = saved
+    assert compiled.codegen_active and not generic.codegen_active
+    return compiled, generic
+
+
+def _rows(schema, count):
+    values = []
+    for i in range(count):
+        row = []
+        for field in schema.fields:
+            name = field.dtype.name
+            if name in _VALUES:
+                pool = _VALUES[name]
+                row.append(pool[i % len(pool)])
+            else:  # fixed_bytes payload
+                row.append(bytes([65 + i % 26]) * field.dtype.size)
+        values.append(tuple(row))
+    return values
+
+
+@pytest.mark.parametrize("dtype", sorted(BUILTIN_TYPES))
+@pytest.mark.parametrize("count", BATCH_SIZES)
+def test_pack_many_into_byte_identical(dtype, count):
+    fields = (("head", "uint8"), ("x", dtype), ("tail", 3))
+    compiled, generic = _schemas(*fields)
+    rows = _rows(compiled, count)
+    offset = 5  # non-zero: offsets must thread through both paths
+    buf_c = bytearray(offset + compiled.tuple_size * count + 2)
+    buf_g = bytearray(len(buf_c))
+    compiled.pack_many_into(buf_c, offset, rows)
+    generic.pack_many_into(buf_g, offset, rows)
+    assert buf_c == buf_g
+
+
+@pytest.mark.parametrize("dtype", sorted(BUILTIN_TYPES))
+def test_unpack_rows_identical(dtype):
+    fields = (("x", dtype), ("blob", 5))
+    compiled, generic = _schemas(*fields)
+    rows = _rows(compiled, 100)
+    buf = bytearray(compiled.tuple_size * 100)
+    compiled.pack_many_into(buf, 0, rows)
+    assert compiled.unpack_rows(bytes(buf)) == generic.unpack_rows(
+        bytes(buf))
+
+
+def test_uncached_batch_counts_pack_identically():
+    """Counts beyond the batch-struct cache cap take the power-of-two
+    chunked path on both legs — still byte-identical."""
+    compiled, generic = _schemas(("k", "uint64"), ("pad", 8))
+    size = compiled.tuple_size
+    for count in (65, 127, 1000, 1025):  # none cached up front
+        rows = _rows(compiled, count)
+        buf_c = bytearray(size * count)
+        buf_g = bytearray(size * count)
+        compiled.pack_many_into(buf_c, 0, rows)
+        generic.pack_many_into(buf_g, 0, rows)
+        assert buf_c == buf_g, count
+
+
+def test_pack_error_messages_identical():
+    compiled, generic = _schemas(("k", "uint64"), ("v", "uint32"))
+    bad_batches = (
+        [("not-an-int", 1)],
+        [(1, 2), (3,)],           # arity mismatch mid-batch
+        [(1, 2), (4, -1)],        # range error
+    )
+    for batch in bad_batches:
+        buf = bytearray(compiled.tuple_size * len(batch))
+        with pytest.raises(SchemaError) as exc_c:
+            compiled.pack_many_into(buf, 0, batch)
+        with pytest.raises(SchemaError) as exc_g:
+            generic.pack_many_into(buf, 0, batch)
+        assert str(exc_c.value) == str(exc_g.value)
+
+
+def test_unpack_error_messages_identical():
+    compiled, generic = _schemas(("k", "uint64"), ("v", "uint64"))
+    torn = b"\x01" * 19  # not a multiple of the 16-byte tuple
+    with pytest.raises(SchemaError) as exc_c:
+        compiled.unpack_rows(torn)
+    with pytest.raises(SchemaError) as exc_g:
+        generic.unpack_rows(torn)
+    assert str(exc_c.value) == str(exc_g.value)
+
+
+# -- router ------------------------------------------------------------------
+
+@pytest.mark.parametrize("dtype", ("int8", "uint16", "int32", "uint64"))
+@pytest.mark.parametrize("targets", (1, 2, 3, 7, 8, 16))
+def test_route_many_partitions_identical(dtype, targets):
+    compiled, generic = _schemas(("key", dtype), ("pad", 4))
+    assert compiled.compiled_route_many(0, None) is not None
+    assert generic.compiled_route_many(0, None) is None
+    route_c = key_hash_router(compiled, "key").route_many
+    route_g = key_hash_router(generic, "key").route_many
+    for count in BATCH_SIZES:
+        rows = _rows(compiled, count)
+        assert route_c(rows, targets) == route_g(rows, targets)
+
+
+def test_route_many_non_int_dtype_declines():
+    """Float/char/bytes keys cannot use the static-int fused hash."""
+    for dtype in ("float", "double", "char"):
+        compiled, _ = _schemas(("key", dtype))
+        assert compiled.compiled_route_many(0, None) is None
+    compiled, _ = _schemas(("key", 8))  # fixed_bytes
+    assert compiled.compiled_route_many(0, None) is None
+
+
+def test_route_many_mistyped_batch_replays_through_generic():
+    """A batch whose key values violate the declared int dtype must
+    produce exactly the generic partitions (whole-batch replay)."""
+    compiled, generic = _schemas(("key", "uint64"), ("pad", 4))
+    route_c = key_hash_router(compiled, "key").route_many
+    route_g = key_hash_router(generic, "key").route_many
+    pad = b"ppXX"
+    liars = [("zebra", pad), ("ant", pad), (3.5, pad), ("zebra", pad)]
+    for targets in (4, 5):
+        assert route_c(liars, targets) == route_g(liars, targets)
+
+
+# -- combiner folds ----------------------------------------------------------
+
+def _generic_fold(schema, chunks, group_index, value_index, op):
+    table = {}
+    for chunk in chunks:
+        for row in schema.unpack_rows(chunk):
+            group = row[group_index]
+            current = table.get(group)
+            if op == "sum":
+                value = row[value_index]
+                table[group] = (value if current is None
+                                else current + value)
+            elif op == "count":
+                table[group] = 1 if current is None else current + 1
+            elif op == "min":
+                value = row[value_index]
+                if current is None or value < current:
+                    table[group] = value
+            else:
+                value = row[value_index]
+                if current is None or value > current:
+                    table[group] = value
+    return table
+
+
+@pytest.mark.parametrize("op", ("sum", "count", "min", "max"))
+@pytest.mark.parametrize("layout", (
+    # (fields, group_index, value_index): group before value, value
+    # before group, group == value, wide tuple with skipped columns.
+    ((("g", "uint32"), ("v", "int64")), 0, 1),
+    ((("v", "double"), ("g", "uint16")), 1, 0),
+    ((("g", "uint64"), ("pad", 8)), 0, 0),
+    ((("a", 8), ("g", "int16"), ("b", "uint64"), ("v", "double"),
+      ("c", 4)), 1, 3),
+))
+def test_fold_kernel_matches_generic(op, layout):
+    fields, group_index, value_index = layout
+    compiled, generic = _schemas(*fields)
+    factory = compiled.fold_kernel(group_index, value_index, op)
+    assert factory is not None
+    assert generic.fold_kernel(group_index, value_index, op) is None
+    rows = _rows(compiled, 257)
+    size = compiled.tuple_size
+    buf = bytearray(size * len(rows))
+    compiled.pack_many_into(buf, 0, rows)
+    packed = bytes(buf)
+    # Uneven chunk boundaries (always whole rows, as segments guarantee).
+    cut = size * 101
+    chunks = [packed[:cut], packed[cut:cut], packed[cut:]]
+    table = {}
+    folded = factory(table.get, table.__setitem__)(chunks)
+    assert folded == len(rows)
+    assert table == _generic_fold(
+        generic, chunks, group_index, value_index, op)
+
+
+def test_fold_kernel_unknown_op_declines():
+    compiled, _ = _schemas(("g", "uint64"), ("v", "uint64"))
+    assert compiled.fold_kernel(0, 1, "median") is None
+
+
+# -- determinism capstone ----------------------------------------------------
+
+def _run_flow(codegen: bool):
+    """One small 2:2 shuffle + fold; returns every simulated observable."""
+    from repro.core import (
+        FLOW_END,
+        AggregationSpec,
+        DfiRuntime,
+        FlowOptions,
+        Optimization,
+    )
+    from repro.simnet import Cluster
+
+    saved = config.CODEGEN_ENABLED
+    config.CODEGEN_ENABLED = codegen
+    try:
+        schema = Schema(("key", "uint64"), ("value", "uint64"))
+        cluster = Cluster(node_count=4)
+        dfi = DfiRuntime(cluster)
+        dfi.init_combiner_flow(
+            "agg", ["node0|0", "node1|0"], "node3|0", schema,
+            aggregation=AggregationSpec("sum", "key", "value"),
+            optimization=Optimization.BANDWIDTH, options=FlowOptions())
+        out = {}
+
+        def source_thread(index):
+            source = yield from dfi.open_source("agg", index)
+            yield from source.push_batch(
+                [(i % 97, i) for i in range(index, 1500 + index)])
+            yield from source.close()
+
+        def target_thread():
+            target = yield from dfi.open_target("agg", 0)
+            while (yield from target.consume_step()) is not FLOW_END:
+                pass
+            out["aggregated"] = target.tuples_aggregated
+            out["at"] = cluster.now
+
+        cluster.node(0).spawn(source_thread(0))
+        cluster.node(1).spawn(source_thread(1))
+        cluster.node(3).spawn(target_thread())
+        cluster.run()
+        out["final"] = cluster.now
+        return out
+    finally:
+        config.CODEGEN_ENABLED = saved
+
+
+def test_flow_bit_identical_with_codegen_off():
+    """The in-process REPRO_NO_CODEGEN fingerprint: simulated completion
+    times and aggregate counts must be bit-identical across the toggle."""
+    assert _run_flow(codegen=True) == _run_flow(codegen=False)
