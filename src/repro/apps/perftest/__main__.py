@@ -39,6 +39,13 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="outstanding writes for bw (default 64)")
     parser.add_argument("--seed", type=int, default=7,
                         help="experiment seed (default 7)")
+    parser.add_argument("--nodes", type=int, default=2,
+                        help="cluster size; the client runs on node 0 and "
+                             "the server on the last node (default 2)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="event-kernel shards (default: REPRO_SHARDS "
+                             "or 1; simulated results are bit-identical "
+                             "at any shard count)")
     parser.add_argument("--stats", action="store_true",
                         help="enable observability and print the metrics "
                              "report after the run")
@@ -47,20 +54,25 @@ def main(argv: "list[str] | None" = None) -> int:
                              "--stats with tracing)")
     args = parser.parse_args(argv)
 
-    cluster = Cluster(node_count=2, seed=args.seed)
+    if args.nodes < 2:
+        parser.error("--nodes must be >= 2 (client and server)")
+    cluster = Cluster(node_count=args.nodes, seed=args.seed,
+                      shards=args.shards)
     if args.stats or args.trace_out:
         cluster.enable_observability(trace=args.trace_out is not None)
+    server_node = args.nodes - 1
 
     if args.tool == "lat":
         iterations = args.iterations or 100
-        rtts = ib_write_lat(cluster, args.size, iterations=iterations)
+        rtts = ib_write_lat(cluster, args.size, iterations=iterations,
+                            server_node=server_node)
         print(f"ib_write_lat size={args.size}B iterations={iterations}: "
               f"median={statistics.median(rtts):.1f} ns "
               f"min={min(rtts):.1f} ns max={max(rtts):.1f} ns")
     else:
         iterations = args.iterations or 1000
         bw = ib_write_bw(cluster, args.size, iterations=iterations,
-                         window=args.window)
+                         window=args.window, server_node=server_node)
         print(f"ib_write_bw size={args.size}B iterations={iterations} "
               f"window={args.window}: {bw:.3f} GB/s")
 

@@ -324,6 +324,80 @@ def measure_combiner_bandwidth(tuple_size: int, threads_per_sender: int,
     return BandwidthMeasurement(payload, window["end"] - window["start"])
 
 
+def run_shuffle_mesh(groups: int, group_size: int, tuple_size: int = 64,
+                     tuples_per_source: int = 256, shards: int | None = None,
+                     seed: int = 0,
+                     options: FlowOptions = FlowOptions(
+                         source_segments=4, target_segments=16,
+                         credit_threshold=8),
+                     ) -> dict:
+    """Grouped shuffle mesh: ``groups`` concurrent ``group_size``:
+    ``group_size`` shuffle flows on one ``groups × group_size``-node
+    cluster (rack-aligned shards via :meth:`Cluster.racked`).
+
+    The scale scenario for the sharded kernel: 8×8 is the 64-node kernel
+    bench's flow-shaped event mix; 32×8 is the 256-node, 32-concurrent-
+    flow acceptance scenario of ``bench_sharded.py``. Every flow stays
+    inside its group, so with rack-aligned shards cross-shard mailbox
+    traffic is near zero — the honest best case for batch draining.
+    Returns sim/wall measurements plus the cluster (callers read
+    ``cluster.metrics_snapshot()``; sim metrics are bit-identical for
+    any ``shards``).
+    """
+    import time as _time
+
+    cluster = Cluster.racked(groups, group_size, seed=seed, shards=shards)
+    dfi = DfiRuntime(cluster)
+    schema = _payload_schema(tuple_size)
+    pad = b"x" * (tuple_size - 8)
+    done = {"flows": 0}
+    for group in range(groups):
+        base = group * group_size
+        endpoints = [Endpoint(base + n, 0) for n in range(group_size)]
+        dfi.init_shuffle_flow(f"mesh{group}", endpoints, endpoints, schema,
+                              shuffle_key="key", options=options)
+
+    def source_thread(flow, index, node_id):
+        source = yield from dfi.open_source(flow, index)
+        batch = 32
+        for start in range(0, tuples_per_source, batch):
+            rows = [((start + i) * 1315423911 + index + node_id, pad)
+                    for i in range(min(batch, tuples_per_source - start))]
+            yield from source.push_batch(rows)
+        yield from source.close()
+
+    def target_thread(flow, index):
+        target = yield from dfi.open_target(flow, index)
+        received = 0
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                done["flows"] += 1
+                return
+            received += len(batch)
+
+    for group in range(groups):
+        base = group * group_size
+        flow = f"mesh{group}"
+        for index in range(group_size):
+            node = cluster.node(base + index)
+            node.spawn(source_thread(flow, index, node.node_id))
+            node.spawn(target_thread(flow, index))
+    wall_start = _time.perf_counter()
+    cluster.run()
+    wall = _time.perf_counter() - wall_start
+    assert done["flows"] == groups * group_size
+    return {
+        "nodes": cluster.node_count,
+        "shards": cluster.shard_count,
+        "flows": groups,
+        "tuples": groups * group_size * tuples_per_source,
+        "sim_ns": cluster.now,
+        "wall_seconds": wall,
+        "cluster": cluster,
+    }
+
+
 def flow_memory_per_node(servers: int, threads_per_server: int,
                          options: FlowOptions = FlowOptions()) -> int:
     """Section 6.1.4: buffer bytes per node of an N:N shuffle deployment,

@@ -139,6 +139,49 @@ class FlowRegistry:
     def flow_names(self) -> list[str]:
         return sorted(self._flows)
 
+    def release_flow(self, name: str) -> None:
+        """Drop every piece of registry state for a closed flow: the
+        descriptor, ring/backchannel handles and rendezvous signals,
+        readiness tracking, the abort flag, the multicast group, and the
+        sequencer counter's registered memory on the master NIC.
+
+        The registry is the one per-cluster store that outlives flows, so
+        a long-running cluster cycling many flows (the 256-1024-node
+        serving scenarios) must release them or these dicts grow without
+        bound — ``tests/test_scale_memory.py`` pins this. Call after all
+        endpoints have closed; releasing is idempotent-by-name only in
+        the sense that an unknown flow raises (a double release is a
+        lifecycle bug worth surfacing). The name becomes reusable."""
+        self.descriptor(name)  # validates the flow exists
+        del self._flows[name]
+        self._aborted.discard(name)
+        self._ready_targets.pop(name, None)
+        self._ready_signals.pop(name, None)
+        self._mcast_groups.pop(name, None)
+        sequencer = self._sequencers.pop(name, None)
+        if sequencer is not None:
+            get_nic(self.cluster.node(sequencer.node_id)).deregister_memory(
+                sequencer.rkey)
+        # Deregister the target-side ring (and credit) regions behind the
+        # published handles — the registry is the only place that still
+        # knows them once the endpoints closed. Credit regions are shared
+        # by every channel of one target, so dedupe by (node, rkey).
+        regions: set[tuple[int, int]] = set()
+        for key in [key for key in self._rings if key[0] == name]:
+            handle = self._rings.pop(key)
+            regions.add((handle.node_id, handle.rkey))
+            if handle.credit_rkey is not None:
+                regions.add((handle.node_id, handle.credit_rkey))
+        for node_id, rkey in sorted(regions):
+            get_nic(self.cluster.node(node_id)).deregister_memory(rkey)
+        for table in (self._ring_signals, self._backchannel,
+                      self._backchannel_signals):
+            for key in [key for key in table if key[0] == name]:
+                del table[key]
+        # Source-side backchannel regions (multicast replicate credit/NACK
+        # buffers) are owned by the source endpoints that registered them;
+        # only the rendezvous info lived here.
+
     # -- ring rendezvous ---------------------------------------------------
     def _ring_signal(self, key: tuple[str, int, int]) -> Signal:
         signal = self._ring_signals.get(key)

@@ -385,6 +385,16 @@ class BandwidthSourceChannel:
         if not wr.done.triggered:
             yield wr.done
 
+    def release(self) -> None:
+        """Deregister the footer-read scratch region. Called by the owning
+        source once the channel's close/abort marker is acknowledged — a
+        closed channel posts no more reads, and a flow-cycling cluster
+        must shed every per-channel NIC region (``tests/test_scale_memory``
+        pins the steady state). Idempotent."""
+        if self._scratch is not None:
+            get_nic(self.node).deregister_memory(self._scratch.rkey)
+            self._scratch = None
+
     def _flush(self, extra_flags: int, charge_cpu: bool = True):
         # Charge the CPU work accumulated by pushes plus the post cost
         # (``push_batch`` pre-charges both as one coalesced timeout and
@@ -805,6 +815,15 @@ class LatencySourceChannel:
                               self._tid, {"aborted": True})
         if not wr.done.triggered:
             yield wr.done
+
+    def release(self) -> None:
+        """Deregister the credit-read scratch region once the channel is
+        closed (see ``BandwidthSourceChannel.release``). An in-flight
+        asynchronous credit read holds the region object itself, not the
+        rkey, so dropping the NIC table entry is safe. Idempotent."""
+        if self._scratch is not None:
+            get_nic(self.node).deregister_memory(self._scratch.rkey)
+            self._scratch = None
 
     def _slot_base(self) -> int:
         """Staging-buffer offset of the slot for the next send."""
@@ -1396,6 +1415,9 @@ class ShuffleSource:
         self.closed = True
         for index, exc in failures:
             yield from self._handle_channel_failure(index, exc)
+        for channel in self._channels:
+            if channel.closed:
+                channel.release()
 
     def abort(self):
         """Generator: abort the flow — staged data is dropped and every
@@ -1428,6 +1450,7 @@ class ShuffleSource:
                 yield from channel.abort()
             except (QpFlushedError, FlowTimeoutError):
                 pass  # aborting toward a dead peer: nothing left to void
+            channel.release()
         self.closed = True
 
     def adopt_new_targets(self):
@@ -1581,7 +1604,9 @@ class ShuffleTarget:
         # wake-up (succeeding ``_wake_event`` when one is armed),
         # replacing the per-wakeup transient hooks of ``_RingWriteWaiter``
         # — rings keep exactly one hook, so every RDMA write stays on the
-        # region's single-hook fast path.
+        # region's single-hook fast path. Bounded: keys are channel
+        # indices, so the set never exceeds the flow's source count and
+        # dies with the target (scale audit: no per-message growth).
         self._dirty: dict = dict.fromkeys(range(len(channels)))
         self._wake_event = None
         # A flow aborted before this target opened (abort racing

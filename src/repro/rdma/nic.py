@@ -59,6 +59,20 @@ class RNic:
             raise MemoryRegionError(
                 f"unknown rkey {rkey} on {self.node.name}") from None
 
+    def deregister_memory(self, rkey: int) -> None:
+        """Drop the region behind ``rkey``: subsequent remote accesses
+        fail, and the region's buffer becomes collectible once in-flight
+        references drain. Long-running clusters that open and close many
+        flows (the 256-1024-node serving scenarios) must deregister, or
+        the region table grows without bound — see
+        ``FlowRegistry.release_flow``. Unknown rkeys raise, so double
+        frees surface instead of passing silently."""
+        try:
+            del self._regions[rkey]
+        except KeyError:
+            raise MemoryRegionError(
+                f"unknown rkey {rkey} on {self.node.name}") from None
+
     def registered_bytes(self) -> int:
         """Total bytes of registered memory on this NIC."""
         return sum(region.size for region in self._regions.values())

@@ -34,10 +34,17 @@ class Fabric:
         self.cluster = cluster
         self.env = cluster.env
         self.profile = cluster.profile
+        #: True when the kernel is sharded: arrival events are then tagged
+        #: with the destination node's shard so they land on its lane (the
+        #: per-shard inbound mailbox). Cached because the kernel choice is
+        #: fixed at cluster construction.
+        self._shard_tag = cluster.env.shard_count > 1
         self._loss_rng = derive_rng(cluster.seed, "fabric", "multicast-loss")
         #: Last loopback delivery time per node: loopback transfers keep
         #: FIFO order (a later-posted inline WQE has lower NIC latency and
-        #: would otherwise overtake an earlier bulk write).
+        #: would otherwise overtake an earlier bulk write). Bounded: one
+        #: float per node that ever looped back (≤ node_count entries,
+        #: ~100 KB at 1024 nodes) — scale audit, no clearing needed.
         self._loopback_last: dict[int, float] = {}
         #: Unicast messages delivered.
         self.unicast_count = 0
@@ -71,14 +78,20 @@ class Fabric:
         if source.cluster is not cluster or destination.cluster is not cluster:
             self._check_nodes(source, destination)
         self.unicast_count += 1
-        now = self.env.now
+        env = self.env
+        now = env.now
         if source is destination:
             arrival = (now + delay + self.profile.loopback_latency
                        + size / self.profile.loopback_bandwidth)
             arrival = max(arrival,
                           self._loopback_last.get(source.node_id, 0.0))
             self._loopback_last[source.node_id] = arrival
-            return self.env.timeout(arrival - now)
+            if self._shard_tag:
+                env._post_shard = source._shard
+                event = env.timeout(arrival - now)
+                env._post_shard = -1
+                return event
+            return env.timeout(arrival - now)
         reserve_up = (source.uplink.reserve_priority if control
                       else source.uplink.reserve)
         reserve_down = (destination.downlink.reserve_priority if control
@@ -90,7 +103,15 @@ class Fabric:
         _down_start, down_end = reserve_down(
             size, send_start + self.profile.wire_latency)
         arrival = max(down_end, up_end + self.profile.wire_latency)
-        return self.env.timeout(arrival - now)
+        if self._shard_tag:
+            shard = destination._shard
+            if shard != source._shard:
+                env.mailbox_crossings += 1
+            env._post_shard = shard
+            event = env.timeout(arrival - now)
+            env._post_shard = -1
+            return event
+        return env.timeout(arrival - now)
 
     def unicast_train(self, source: Node, destination: Node, sizes,
                       delays) -> list[float]:
@@ -111,6 +132,12 @@ class Fabric:
         count = len(sizes)
         self.unicast_count += count
         self.unicast_trains += 1
+        if (self._shard_tag and source is not destination
+                and destination._shard != source._shard):
+            # No arrival events to tag (the caller chains its own timers
+            # from the returned floats), but the train's messages still
+            # cross shards — keep the crossing tally honest.
+            self.env.mailbox_crossings += count
         now = self.env.now
         if source is destination:
             loop_latency = self.profile.loopback_latency
@@ -150,7 +177,9 @@ class Fabric:
             raise SimulationError("multicast group must not be empty")
         self._check_nodes(source, *members)
         self.multicast_count += 1
-        now = self.env.now
+        env = self.env
+        shard_tag = self._shard_tag
+        now = env.now
         _up_start, up_end = source.uplink.reserve(size, now + delay)
         send_start = up_end - source.uplink.serialization_time(size)
         arrivals: dict[Node, Timeout | None] = {}
@@ -170,6 +199,11 @@ class Fabric:
                 self.multicast_drops += 1
                 arrivals[member] = None
                 continue
+            if shard_tag:
+                shard = member._shard
+                if shard != source._shard:
+                    env.mailbox_crossings += 1
+                env._post_shard = shard
             if member is source:
                 arrival_at = (now + delay + self.profile.loopback_latency
                               + size / self.profile.loopback_bandwidth)
@@ -177,12 +211,14 @@ class Fabric:
                                  self._loopback_last.get(source.node_id,
                                                          0.0))
                 self._loopback_last[source.node_id] = arrival_at
-                arrivals[member] = self.env.timeout(arrival_at - now)
+                arrivals[member] = env.timeout(arrival_at - now)
                 continue
             _d_start, d_end = member.downlink.reserve(
                 size, send_start + self.profile.wire_latency)
             arrival = max(d_end, up_end + self.profile.wire_latency)
-            arrivals[member] = self.env.timeout(arrival - now)
+            arrivals[member] = env.timeout(arrival - now)
+        if shard_tag:
+            env._post_shard = -1
         return arrivals
 
     # -- switch-terminated transfers (in-network processing) -----------------
@@ -201,10 +237,16 @@ class Fabric:
         """Transmit ``size`` bytes from the switch to ``destination``:
         the downlink serialization plus half the wire latency."""
         self._check_nodes(destination)
-        now = self.env.now
+        env = self.env
+        now = env.now
         _start, down_end = destination.downlink.reserve(size, now)
         arrival = down_end + self.profile.wire_latency / 2
-        return self.env.timeout(arrival - now)
+        if self._shard_tag:
+            env._post_shard = destination._shard
+            event = env.timeout(arrival - now)
+            env._post_shard = -1
+            return event
+        return env.timeout(arrival - now)
 
     def _check_nodes(self, *nodes: Node) -> None:
         for node in nodes:

@@ -189,8 +189,11 @@ def test_runtime_registered_memory_by_node():
     dfi.init_shuffle_flow("f", ["node0|0"], ["node1|0"], SCHEMA,
                           shuffle_key="group")
 
+    live = {}
+
     def source_thread(env):
         source = yield from dfi.open_source("f", 0)
+        live.update(dfi.registered_memory_by_node())
         yield from source.close()
 
     def target_thread(env):
@@ -205,9 +208,11 @@ def test_runtime_registered_memory_by_node():
     ring = 32 * (8192 + 16)
     assert memory[1] >= ring  # the target ring lives on node 1
     # The simulator snapshots payloads at post time, so the source side
-    # registers only scratch buffers; the protocol's send-ring requirement
-    # is reported via FlowSource.memory_bytes instead.
-    assert memory[0] > 0
+    # registers only scratch buffers while the flow is live; the
+    # protocol's send-ring requirement is reported via
+    # FlowSource.memory_bytes instead. Closing releases the scratch.
+    assert live[0] > 0
+    assert memory[0] == 0
 
 
 def test_global_ordering_only_on_replicate():

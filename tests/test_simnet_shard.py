@@ -1,0 +1,455 @@
+"""Sharded event kernel: order equivalence, shard invariance, executor.
+
+The contract under test (``simnet/shard.py``): sharding changes event
+*storage*, never event *order*. Every simulated observable — clocks,
+byte counts, event sequence numbers, chaos outcomes — must be
+bit-identical between the single-queue ``Environment`` and a
+``ShardedEnvironment`` at any shard count with any node→shard map.
+"""
+
+import random
+
+import pytest
+
+from repro.common.errors import ConfigurationError, SimulationError
+from repro.core import FLOW_END, DfiRuntime, Endpoint, FlowOptions, Schema
+from repro.simnet import (
+    Cluster,
+    Environment,
+    FaultPlan,
+    ShardedEnvironment,
+    block_shard_map,
+    node_crash,
+    run_partitioned,
+)
+
+
+# -- shard maps --------------------------------------------------------------
+
+def test_block_shard_map_partitions_contiguously():
+    assert block_shard_map(8, 1) == [0] * 8
+    assert block_shard_map(8, 2) == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert block_shard_map(8, 8) == list(range(8))
+    # Uneven split stays contiguous and covers every shard.
+    uneven = block_shard_map(10, 4)
+    assert uneven == sorted(uneven)
+    assert set(uneven) == {0, 1, 2, 3}
+    with pytest.raises(ConfigurationError):
+        block_shard_map(8, 0)
+
+
+def test_cluster_shard_map_validation():
+    with pytest.raises(ConfigurationError):
+        Cluster(node_count=4, shards=0)
+    with pytest.raises(ConfigurationError):
+        Cluster(node_count=4, shards=2, shard_map=[0, 1])  # wrong length
+    with pytest.raises(ConfigurationError):
+        Cluster(node_count=4, shards=2, shard_map=[0, 1, 2, 4])  # range
+    with pytest.raises(ConfigurationError):
+        Cluster(node_count=4, shards=2, shard_map=[0, -1, 0, 0])
+    # Shard count is clamped to the node count...
+    assert Cluster(node_count=2, shards=16).shard_count == 2
+    # ...and widened to cover an explicit map.
+    wide = Cluster(node_count=4, shards=1, shard_map=[0, 1, 2, 3])
+    assert wide.shard_count == 4
+    assert [wide.shard_of(n) for n in range(4)] == [0, 1, 2, 3]
+
+
+def test_racked_builder_aligns_shards_to_racks():
+    cluster = Cluster.racked(4, 4)
+    assert cluster.node_count == 16
+    assert cluster.shard_count == 4
+    assert cluster.nodes_per_rack == 4
+    assert cluster.shard_of(0) == 0 and cluster.shard_of(5) == 1
+    # Coarsening keeps the map rack-aligned: blocks of racks nest.
+    coarse = Cluster.racked(4, 4, shards=2)
+    assert coarse.shard_count == 2
+    assert coarse.shard_map == [0] * 8 + [1] * 8
+    with pytest.raises(ConfigurationError):
+        Cluster.racked(0, 4)
+
+
+def test_shards_one_keeps_single_queue_kernel():
+    cluster = Cluster(node_count=4, shards=1)
+    assert type(cluster.env) is Environment
+    assert cluster.shard_count == 1
+    sharded = Cluster(node_count=4, shards=2)
+    assert isinstance(sharded.env, ShardedEnvironment)
+    assert sharded.env.lookahead == sharded.profile.wire_latency
+
+
+def test_repro_shards_default_is_monkeypatchable(monkeypatch):
+    import repro.simnet.cluster as cluster_mod
+    monkeypatch.setattr(cluster_mod, "DEFAULT_SHARDS", 4)
+    cluster = Cluster(node_count=8)
+    assert isinstance(cluster.env, ShardedEnvironment)
+    assert cluster.shard_count == 4
+
+
+def test_repro_shards_env_parsing(monkeypatch):
+    from repro.common.config import _read_default_shards
+    for raw, expect in (("", 1), ("0", 1), ("1", 1), ("4", 4), ("32", 32)):
+        monkeypatch.setenv("REPRO_SHARDS", raw)
+        assert _read_default_shards() == expect
+    monkeypatch.delenv("REPRO_SHARDS")
+    assert _read_default_shards() == 1
+    monkeypatch.setenv("REPRO_SHARDS", "many")
+    with pytest.raises(ConfigurationError):
+        _read_default_shards()
+    monkeypatch.setenv("REPRO_SHARDS", "-2")
+    with pytest.raises(ConfigurationError):
+        _read_default_shards()
+
+
+# -- raw-kernel order equivalence --------------------------------------------
+
+def _chaotic_workload(env, seed, log):
+    """A mixed event storm: timeout chains with zero-delay bursts, manual
+    events, direct callbacks and trains — with every scheduling call
+    randomly tagged to a foreign lane when the kernel is sharded (tags
+    are attribution only; draws happen identically on both kernels)."""
+    rng = random.Random(seed)
+    shards = env.shard_count
+
+    def post(make):
+        tag = rng.randrange(16)
+        if shards > 1:
+            env._post_shard = tag % shards
+            try:
+                return make()
+            finally:
+                env._post_shard = -1
+        return make()
+
+    def worker(name, steps):
+        for i in range(steps):
+            delay = rng.choice(
+                (0.0, 0.0, 1.0, 3.5, 2048.0, rng.random() * 9000.0))
+            yield post(lambda: env.timeout(delay))
+            log.append((env.now, name, i))
+
+    def firer(events):
+        for i, event in enumerate(events):
+            yield env.timeout(rng.random() * 500.0)
+            post(lambda: event.succeed(i))
+
+    def waiter(name, events):
+        for event in events:
+            got = yield event
+            log.append((env.now, name, got))
+
+    for p in range(5):
+        env.process(worker(f"w{p}", 30))
+    manual = [env.event() for _ in range(20)]
+    env.process(firer(manual))
+    env.process(waiter("waiter", manual))
+    for j in range(40):
+        when = rng.random() * 8000.0 + 0.5
+        post(lambda when=when, j=j: env.schedule_at(
+            when, lambda: log.append((env.now, "cb", j))))
+    env.schedule_train([(100.0 + 7.0 * i, log.append, (0.0, "train", i))
+                        for i in range(16)])
+    env.run()
+
+
+def test_sharded_order_matches_single_queue_exactly():
+    baseline: list = []
+    _chaotic_workload(Environment(), seed=42, log=baseline)
+    assert len(baseline) > 200
+    for shards in (2, 3, 8):
+        log: list = []
+        env = ShardedEnvironment(shards, lookahead=850.0)
+        _chaotic_workload(env, seed=42, log=log)
+        assert log == baseline, f"event order diverged at shards={shards}"
+        stats = env.shard_stats()
+        assert stats["shards"] == shards
+        assert stats["events_drained"] == env._sequence
+        assert stats["drain_rounds"] >= 1
+        # Foreign tags were applied, so mailboxes saw traffic.
+        assert sum(lane["mailbox_in"] for lane in stats["lanes"]) > 0
+
+
+def test_sharded_step_and_peek_compatibility():
+    single, sharded = Environment(), ShardedEnvironment(4)
+    logs = ([], [])
+    for env, log in zip((single, sharded), logs):
+        env.schedule_at(5.0, lambda log=log: log.append("b"))
+        env.schedule_at(1.0, lambda log=log: log.append("a"))
+        assert env.peek() == 1.0
+        env.step()
+        assert env.now == 1.0
+        assert env.peek() == 5.0
+        env.step()
+        with pytest.raises(SimulationError):
+            env.step()
+    assert logs[0] == logs[1] == ["a", "b"]
+    assert sharded.peek() == float("inf")
+
+
+def test_sharded_run_until_semantics():
+    env = ShardedEnvironment(2)
+    hits = []
+    for when in (10.0, 20.0, 30.0):
+        env.schedule_at(when, lambda when=when: hits.append(when))
+    env.run(until=15.0)
+    assert env.now == 15.0 and hits == [10.0]
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)  # lies in the past
+    env.run()
+    assert hits == [10.0, 20.0, 30.0]
+
+    env = ShardedEnvironment(2)
+
+    def proc(env):
+        yield env.timeout(7.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+
+    env = ShardedEnvironment(2)
+    never = env.event()
+    env.schedule_at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        env.run(until=never)  # queue drains before the event fires
+
+
+def test_sharded_exception_propagation():
+    env = ShardedEnvironment(4)
+
+    def boom(env):
+        yield env.timeout(3.0)
+        raise ValueError("kaboom")
+
+    env.process(boom(env))
+    with pytest.raises(ValueError, match="kaboom"):
+        env.run()
+
+
+# -- flow-level shard invariance ---------------------------------------------
+
+def _one_shuffle(**cluster_kwargs):
+    """A 2:3 contended shuffle; returns the full simulated signature."""
+    cluster = Cluster(node_count=5, seed=3, **cluster_kwargs)
+    dfi = DfiRuntime(cluster)
+    schema = Schema(("key", "uint64"), ("pad", 24))
+    pad = b"p" * 24
+    dfi.init_shuffle_flow("inv", [Endpoint(0, 0), Endpoint(1, 0)],
+                          [Endpoint(n, 0) for n in (2, 3, 4)], schema,
+                          shuffle_key="key",
+                          options=FlowOptions(source_segments=4,
+                                              target_segments=8,
+                                              credit_threshold=4))
+
+    def source_thread(index):
+        source = yield from dfi.open_source("inv", index)
+        for i in range(150):
+            yield from source.push((i * 2654435761 + index, pad))
+        yield from source.close()
+
+    def target_thread(index):
+        target = yield from dfi.open_target("inv", index)
+        while (yield from target.consume()) is not FLOW_END:
+            pass
+
+    for index, node_id in enumerate((0, 1)):
+        cluster.node(node_id).spawn(source_thread(index))
+    for index, node_id in enumerate((2, 3, 4)):
+        cluster.node(node_id).spawn(target_thread(index))
+    cluster.run()
+    return {
+        "now": cluster.now,
+        "events": cluster.env._sequence,
+        "bytes": cluster.total_bytes_received(),
+        "unicasts": cluster.fabric.unicast_count,
+        "trains": cluster.fabric.unicast_trains,
+    }
+
+
+def test_shuffle_invariant_across_shard_counts_and_maps():
+    baseline = _one_shuffle(shards=1)
+    assert baseline["bytes"] > 0
+    for shards in (2, 4, 5):
+        assert _one_shuffle(shards=shards) == baseline, f"shards={shards}"
+    # Arbitrary (non-contiguous) node→shard maps are equally safe:
+    # shard assignment is attribution, never order.
+    rng = random.Random(0)
+    for trial in range(4):
+        shard_map = [rng.randrange(3) for _ in range(5)]
+        assert _one_shuffle(shards=3, shard_map=shard_map) == baseline, (
+            f"trial={trial} map={shard_map}")
+
+
+def test_mesh_invariant_across_shard_counts():
+    from repro.bench.flows import run_shuffle_mesh
+
+    signatures = []
+    for shards in (1, 2, 4, 8):
+        result = run_shuffle_mesh(2, 4, tuples_per_source=64, shards=shards)
+        cluster = result["cluster"]
+        signatures.append({
+            "sim_ns": result["sim_ns"],
+            "events": cluster.env._sequence,
+            "bytes": cluster.total_bytes_received(),
+            "unicasts": cluster.fabric.unicast_count,
+        })
+    assert all(sig == signatures[0] for sig in signatures[1:])
+
+
+def test_fabric_counts_mailbox_crossings():
+    cluster = Cluster(node_count=2, shards=2)
+    env = cluster.env
+
+    def sender(node, peer, count):
+        for _ in range(count):
+            yield node.env.timeout(100.0)
+            cluster.fabric.unicast(node, peer, 512)
+
+    cluster.node(0).spawn(sender(cluster.node(0), cluster.node(1), 5))
+    cluster.run()
+    # Every switch delivery targeted the foreign lane.
+    assert env.mailbox_crossings == 5
+    stats = env.shard_stats()
+    assert stats["mailbox_crossings"] == 5
+    assert env._lanes[1].mailbox_in >= 5
+
+    # Loopback transfers never cross: same-node delivery, same lane.
+    loop = Cluster(node_count=2, shards=2)
+
+    def self_sender(node):
+        yield node.env.timeout(100.0)
+        loop.fabric.unicast(node, node, 512)
+
+    loop.node(0).spawn(self_sender(loop.node(0)))
+    loop.run()
+    assert loop.env.mailbox_crossings == 0
+
+
+@pytest.mark.parametrize("seed,flow_type,mode", [
+    (7, "shuffle", "bw"),
+    (11, "replicate", "lat"),
+    (13, "combiner", "bw"),
+])
+def test_chaos_outcomes_invariant_under_sharding(monkeypatch, seed,
+                                                 flow_type, mode):
+    """Fault plans + flows + sharded kernel: the chaos driver must
+    produce bit-identical outcomes, counts and final clocks when every
+    cluster it builds silently becomes a 4-shard one."""
+    from repro.bench.parallel import _chaos_once
+
+    baseline = _chaos_once(seed, flow_type, mode)
+    import repro.simnet.cluster as cluster_mod
+    monkeypatch.setattr(cluster_mod, "DEFAULT_SHARDS", 4)
+    assert _chaos_once(seed, flow_type, mode) == baseline
+
+
+def test_fault_transitions_land_on_victim_lane():
+    cluster = Cluster(node_count=4, shards=2)
+    env = cluster.env
+    lane = env._lanes[cluster.shard_of(3)]
+    before = lane.mailbox_in
+    cluster.install_faults(FaultPlan([node_crash(3, at=1000.0)]))
+    # The crash timer is posted from the build context (shard 0) into the
+    # victim's lane — a mailbox delivery, and the lane holds the event.
+    assert cluster.shard_of(3) == 1
+    assert lane.mailbox_in == before + 1
+    assert len(lane) > 0
+
+
+# -- observability -----------------------------------------------------------
+
+def test_kernel_shard_counters_surface_through_obs():
+    cluster = Cluster(node_count=4, shards=2)
+    cluster.enable_observability()
+
+    def worker(node):
+        for _ in range(5):
+            yield node.env.timeout(10.0)
+        if node.node_id == 0:  # one cross-shard delivery for the counter
+            cluster.fabric.unicast(node, cluster.node(3), 256)
+
+    for node in cluster.nodes:
+        node.spawn(worker(node))
+    cluster.run()
+    snapshot = cluster.metrics_snapshot()
+    # Kernel section carries the full shard_stats payload.
+    kernel = snapshot["kernel"]
+    assert kernel["shards"] == 2
+    assert kernel["events_drained"] == cluster.env._sequence
+    assert len(kernel["lanes"]) == 2
+    # Each shard's home node (first node of the block) exposes the lane
+    # tallies as read-time counters; node 0 also carries the global one.
+    for home in (0, 2):
+        counters = snapshot["nodes"][home]["counters"]
+        assert counters["kernel.shard.events_drained"] > 0
+        assert counters["kernel.shard.drain_rounds"] >= 1
+    assert "kernel.mailbox_crossings" in snapshot["nodes"][0]["counters"]
+    # Reading is passive: harvesting scheduled nothing.
+    events_before = cluster.env._sequence
+    cluster.metrics_snapshot()
+    assert cluster.env._sequence == events_before
+
+
+def test_unsharded_snapshot_reports_single_shard():
+    cluster = Cluster(node_count=2, shards=1)
+    assert cluster.metrics_snapshot()["kernel"] == {"shards": 1}
+
+
+# -- multiprocess window executor --------------------------------------------
+
+def _tiny_partition(seed):
+    cluster = Cluster(node_count=2, seed=seed)
+
+    def pinger(node, peer, count):
+        for i in range(count):
+            yield node.env.timeout(50.0)
+            cluster.fabric.unicast(node, peer, 256 + seed + i)
+
+    cluster.node(0).spawn(pinger(cluster.node(0), cluster.node(1), 20))
+    cluster.node(1).spawn(pinger(cluster.node(1), cluster.node(0), 10))
+    return cluster
+
+
+def _collect_tiny(cluster):
+    return {
+        "now": cluster.now,
+        "bytes": cluster.total_bytes_received(),
+        "unicasts": cluster.fabric.unicast_count,
+    }
+
+
+def test_run_partitioned_serial_matches_multiprocess():
+    builders = [(lambda seed=seed: _tiny_partition(seed))
+                for seed in range(3)]
+    serial = run_partitioned(builders, until=100_000.0, processes=1,
+                             collect=_collect_tiny)
+    assert len(serial) == 3
+    assert serial[0] != serial[1]  # partitions genuinely differ
+    parallel = run_partitioned(builders, until=100_000.0, processes=3,
+                               collect=_collect_tiny)
+    assert parallel == serial
+    # Windowed lockstep (the barrier path) changes nothing observable.
+    windowed = run_partitioned(builders, until=100_000.0, window=10_000.0,
+                               processes=3, collect=_collect_tiny)
+    assert windowed == serial
+
+
+def test_run_partitioned_validates_arguments():
+    with pytest.raises(ConfigurationError):
+        run_partitioned([], until=100.0)
+    with pytest.raises(ConfigurationError):
+        run_partitioned([lambda: None], until=0.0)
+    with pytest.raises(ConfigurationError):
+        run_partitioned([lambda: None], until=100.0, window=-1.0)
+
+
+def test_run_partitioned_surfaces_worker_failures():
+    def bad_builder():
+        raise RuntimeError("builder exploded")
+
+    builders = [lambda: _tiny_partition(0), bad_builder]
+    for processes in (1, 2):
+        with pytest.raises((SimulationError, RuntimeError),
+                           match="exploded|partition 1"):
+            run_partitioned(builders, until=1_000.0, processes=processes,
+                            collect=_collect_tiny)
