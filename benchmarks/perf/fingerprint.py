@@ -22,6 +22,13 @@ bit-exactly against a previously captured JSON: any drift on a key the
 baseline knows fails (exit 1); keys only the fresh run has are reported
 as new (coverage growth, not drift).
 
+``--check-congestion-neutral`` runs the fingerprint twice — once bare,
+once with an *unbounded* ``CongestionConfig`` installed on every cluster
+— and fails (exit 1) on any difference: a congestion plane whose
+thresholds never trip must add zero delay, mark nothing, and schedule no
+events (the ``congestion=None`` default is stronger still — the plane is
+never even consulted).
+
 ``--with-obs`` runs the whole fingerprint three times — bare, with the
 observability plane (counters **and** tracing) enabled on every cluster,
 and with observability plus an empty ``FaultPlan`` — and fails (exit 1)
@@ -234,6 +241,37 @@ def check_fault_neutral() -> int:
     return 0
 
 
+def check_congestion_neutral() -> int:
+    """Assert an installed-but-unbounded congestion plane leaves the
+    fingerprint bit-identical: every threshold sits at infinity, so the
+    plane's admission arithmetic must add exactly zero delay, mark
+    nothing, and schedule no CNP/recovery events. ``congestion=None``
+    neutrality is stronger still (the plane is never consulted) and is
+    covered by the bare run this one is compared against."""
+    from repro.simnet import congestion
+    from repro.simnet.congestion import CongestionConfig
+
+    bare = collect()
+    congestion.set_default_config(CongestionConfig.unbounded())
+    try:
+        with_plane = collect()
+    finally:
+        congestion.set_default_config(None)
+
+    drifted = [key for key in bare
+               if bare[key] != with_plane.get(key)]
+    if drifted:
+        print("CONGESTION-NEUTRALITY VIOLATION: unbounded congestion "
+              "plane moved simulated metrics:")
+        for key in drifted:
+            print(f"  {key}: bare={bare[key]!r} "
+                  f"with-plane={with_plane.get(key)!r}")
+        return 1
+    print(f"congestion-neutral: {len(bare)} metrics bit-identical with an "
+          f"unbounded congestion plane installed")
+    return 0
+
+
 def check_with_obs() -> int:
     """Assert counters + tracing leave the fingerprint bit-identical,
     alone and stacked on top of an (empty) fault plane."""
@@ -295,6 +333,8 @@ def main() -> None:
     args = sys.argv[1:]
     if "--check-fault-neutral" in args:
         sys.exit(check_fault_neutral())
+    if "--check-congestion-neutral" in args:
+        sys.exit(check_congestion_neutral())
     if "--with-obs" in args:
         sys.exit(check_with_obs())
     if args and args[0] == "--check":

@@ -2,11 +2,13 @@
 
 Two suites, both built on :mod:`repro.bench.parallel`:
 
-* ``chaos`` — the 5-seed x 3-flow-type x 2-mode chaos matrix, every cell
-  run twice in its own process; the merged report asserts the no-hang
-  and bit-reproducibility invariants per seed and exits non-zero on any
-  violation. Pure simulated-time work: parallelism changes nothing but
-  wall clock.
+* ``chaos`` — the 5-seed x 3-flow-type x 2-mode x {plain, congested}
+  chaos matrix, every cell run twice in its own process; the merged
+  report asserts the no-hang and bit-reproducibility invariants per seed
+  and exits non-zero on any violation. Congested cells run the same
+  fault plans with an active congestion plane (tight ECN band + DCQCN)
+  so throttling composes with crashes, outages, and degrades. Pure
+  simulated-time work: parallelism changes nothing but wall clock.
 * ``perf``  — the standalone hot-path bench scripts, one subprocess
   each. With ``--check`` every script that has a committed baseline is
   compared against it (report-only, same contract as running them by
@@ -49,6 +51,7 @@ PERF_SCRIPTS = (
     ("bench_kernel.py", "BENCH_kernel.json"),
     ("bench_columnar.py", "BENCH_columnar.json"),
     ("bench_obs_overhead.py", "BENCH_obs.json"),
+    ("bench_congestion.py", "BENCH_congestion.json"),
 )
 
 
@@ -75,8 +78,9 @@ def _run_chaos(args) -> int:
         for outcome in r["outcomes"].values():
             tally[outcome] = tally.get(outcome, 0) + 1
         flags = "" if r["legible"] and r["deterministic"] else "  <-- FAIL"
+        cc = " cc" if r["congested"] else "   "
         print(f"chaos seed={r['seed']} flow={r['flow']:<9} "
-              f"mode={r['mode']} {tally}{flags}")
+              f"mode={r['mode']}{cc} {tally}{flags}")
     print(f"chaos matrix: {len(results)} cells x 2 runs in {wall:.1f}s "
           f"({len(bad)} violations)")
     return 1 if bad else 0

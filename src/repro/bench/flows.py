@@ -398,6 +398,195 @@ def run_shuffle_mesh(groups: int, group_size: int, tuple_size: int = 64,
     }
 
 
+def measure_incast(senders: int, tuple_size: int = 64,
+                   bytes_per_sender: int = 256 << 10,
+                   options: FlowOptions = FlowOptions(),
+                   optimization: Optimization = Optimization.BANDWIDTH,
+                   seed: int = 0) -> dict:
+    """N:1 incast: ``senders`` *distinct* source nodes all shuffling into
+    one target node — the classic fan-in pathology (the target's downlink
+    is the shared egress queue every sender piles onto).
+
+    Unlike :func:`measure_shuffle_bandwidth` (whose source threads share
+    node 0, stressing the *uplink*), every sender here has its own
+    uplink, so contention concentrates exactly where ECN marking and
+    DCQCN throttling act. Returns the completion window, per-sender
+    finish times, and the cluster (read ``metrics_snapshot()`` /
+    ``cluster.congestion.stats()`` for queue and mark detail).
+    """
+    cluster = Cluster(node_count=1 + senders, seed=seed)
+    dfi = DfiRuntime(cluster)
+    schema = _payload_schema(tuple_size)
+    sources = [Endpoint(1 + n, 0) for n in range(senders)]
+    dfi.init_shuffle_flow("incast", sources, [Endpoint(0, 0)], schema,
+                          shuffle_key="key", options=options,
+                          optimization=optimization)
+    per_source = bytes_per_sender // tuple_size
+    pad = b"x" * (tuple_size - 8)
+    window = {"start": None, "end": 0.0}
+    finishes = [0.0] * senders
+    consumed = [0]
+
+    def source_thread(index):
+        source = yield from dfi.open_source("incast", index)
+        if window["start"] is None:
+            window["start"] = cluster.now
+        batch = 64
+        for start in range(0, per_source, batch):
+            rows = [(start + i, pad)
+                    for i in range(min(batch, per_source - start))]
+            yield from source.push_batch(rows, target=0)
+        yield from source.close()
+        finishes[index] = cluster.now
+
+    def target_thread():
+        target = yield from dfi.open_target("incast", 0)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                window["end"] = cluster.now
+                return
+            consumed[0] += len(batch)
+
+    for n in range(senders):
+        cluster.node(1 + n).spawn(source_thread(n))
+    cluster.node(0).spawn(target_thread())
+    cluster.run()
+    assert consumed[0] == per_source * senders
+    return {
+        "senders": senders,
+        "payload_bytes": per_source * senders * tuple_size,
+        "elapsed_ns": window["end"] - window["start"],
+        "finish_ns": finishes,
+        "cluster": cluster,
+    }
+
+
+def measure_fairness(tenants: int, tuple_size: int = 64,
+                     bytes_per_tenant: int = 128 << 10,
+                     options: FlowOptions = FlowOptions(),
+                     seed: int = 0) -> dict:
+    """Many-tenant fairness: ``tenants`` independent 1:1 shuffle flows,
+    each from its own source node into its own target *thread* on one
+    shared target node. Every tenant pushes the same byte count, so with
+    a fair fabric the per-tenant throughputs cluster tightly; Jain's
+    index over them quantifies how far elephants starve mice. Returns
+    per-tenant elapsed times, throughputs, the index, and the cluster."""
+    cluster = Cluster(node_count=1 + tenants, seed=seed)
+    dfi = DfiRuntime(cluster)
+    schema = _payload_schema(tuple_size)
+    for tenant in range(tenants):
+        dfi.init_shuffle_flow(
+            f"tenant{tenant}", [Endpoint(1 + tenant, 0)],
+            [Endpoint(0, tenant)], schema, shuffle_key="key",
+            options=options)
+    per_tenant = bytes_per_tenant // tuple_size
+    pad = b"x" * (tuple_size - 8)
+    elapsed = [0.0] * tenants
+
+    def source_thread(tenant):
+        source = yield from dfi.open_source(f"tenant{tenant}", 0)
+        batch = 64
+        for start in range(0, per_tenant, batch):
+            rows = [(start + i, pad)
+                    for i in range(min(batch, per_tenant - start))]
+            yield from source.push_batch(rows, target=0)
+        yield from source.close()
+
+    def target_thread(tenant):
+        target = yield from dfi.open_target(f"tenant{tenant}", 0)
+        start = cluster.now
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                elapsed[tenant] = cluster.now - start
+                return
+
+    for tenant in range(tenants):
+        cluster.node(1 + tenant).spawn(source_thread(tenant))
+        cluster.node(0).spawn(target_thread(tenant))
+    cluster.run()
+    throughputs = [per_tenant * tuple_size / t for t in elapsed]
+    total = sum(throughputs)
+    square_sum = sum(x * x for x in throughputs)
+    jain = total * total / (tenants * square_sum) if square_sum else 1.0
+    return {
+        "tenants": tenants,
+        "elapsed_ns": elapsed,
+        "throughputs": throughputs,
+        "jain_index": jain,
+        "makespan_ns": max(elapsed),
+        "cluster": cluster,
+    }
+
+
+def measure_victim(elephant_senders: int = 8,
+                   elephant_bytes_per_sender: int = 512 << 10,
+                   victim_bytes: int = 32 << 10, tuple_size: int = 64,
+                   victim_start_ns: float = 50_000.0,
+                   options: FlowOptions = FlowOptions(),
+                   seed: int = 0) -> dict:
+    """Victim-flow-behind-elephant: an ``elephant_senders``:1 bulk incast
+    (nodes 1..N → node 0, thread 0) has already filled node 0's egress
+    queue when a short flow (node N+1 → node 0, thread 1) starts at
+    ``victim_start_ns``. A single bulk sender cannot build a queue — the
+    source CPU is the bottleneck below line rate — so the elephant must
+    be a fan-in. On an ideal pipe the victim's packets wait behind the
+    elephant's unbounded backlog; with bounded queues + DCQCN the
+    elephant is throttled toward the ECN band and the victim's
+    completion time stays within a small factor of the uncongested
+    baseline (bounded inflation — the scenario-suite assertion). Returns
+    both completion times and the cluster."""
+    victim_node = 1 + elephant_senders
+    cluster = Cluster(node_count=victim_node + 1, seed=seed)
+    dfi = DfiRuntime(cluster)
+    schema = _payload_schema(tuple_size)
+    dfi.init_shuffle_flow(
+        "elephant", [Endpoint(1 + n, 0) for n in range(elephant_senders)],
+        [Endpoint(0, 0)], schema, shuffle_key="key", options=options)
+    dfi.init_shuffle_flow("victim", [Endpoint(victim_node, 0)],
+                          [Endpoint(0, 1)], schema, shuffle_key="key",
+                          options=options)
+    pad = b"x" * (tuple_size - 8)
+    done = {}
+
+    def source_thread(flow, index, total_bytes, delay):
+        if delay:
+            yield cluster.env.timeout(delay)
+        source = yield from dfi.open_source(flow, index)
+        done.setdefault(f"{flow}_start", cluster.now)
+        count = total_bytes // tuple_size
+        batch = 64
+        for start in range(0, count, batch):
+            rows = [(start + i, pad)
+                    for i in range(min(batch, count - start))]
+            yield from source.push_batch(rows, target=0)
+        yield from source.close()
+
+    def target_thread(flow):
+        target = yield from dfi.open_target(flow, 0)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                done[f"{flow}_end"] = cluster.now
+                return
+
+    for n in range(elephant_senders):
+        cluster.node(1 + n).spawn(source_thread(
+            "elephant", n, elephant_bytes_per_sender, 0.0))
+    cluster.node(victim_node).spawn(source_thread(
+        "victim", 0, victim_bytes, victim_start_ns))
+    cluster.node(0).spawn(target_thread("elephant"))
+    cluster.node(0).spawn(target_thread("victim"))
+    cluster.run()
+    return {
+        "victim_elapsed_ns": done["victim_end"] - done["victim_start"],
+        "elephant_elapsed_ns": (done["elephant_end"]
+                                - done["elephant_start"]),
+        "cluster": cluster,
+    }
+
+
 def flow_memory_per_node(servers: int, threads_per_server: int,
                          options: FlowOptions = FlowOptions()) -> int:
     """Section 6.1.4: buffer bytes per node of an N:N shuffle deployment,

@@ -30,6 +30,10 @@ import sys
 CHAOS_SEEDS = range(5)
 CHAOS_FLOW_TYPES = ("shuffle", "replicate", "combiner")
 CHAOS_MODES = ("bw", "lat")
+#: Congestion dimension: plain cells plus cells with an active congestion
+#: plane whose band is tight enough to throttle the 256-byte chaos
+#: segments (mirrors ``CHAOS_CONGESTION`` in tests/test_chaos_faults.py).
+CHAOS_CONGESTED = (False, True)
 _CHAOS_HORIZON = 8_000_000.0
 _CHAOS_DETECTION = 60_000.0
 
@@ -71,15 +75,26 @@ def fan_out(worker, cases, processes: "int | None" = None) -> list:
 # -- chaos sweep -------------------------------------------------------------
 
 def chaos_cases(seeds=CHAOS_SEEDS, flow_types=CHAOS_FLOW_TYPES,
-                modes=CHAOS_MODES) -> list:
-    """The full chaos matrix as picklable ``(seed, flow, mode)`` cases."""
-    return [(seed, flow_type, mode)
+                modes=CHAOS_MODES, congested=CHAOS_CONGESTED) -> list:
+    """The full chaos matrix as picklable ``(seed, flow, mode,
+    congested)`` cases."""
+    return [(seed, flow_type, mode, cc)
             for seed in seeds
             for flow_type in flow_types
-            for mode in modes]
+            for mode in modes
+            for cc in congested]
 
 
-def _chaos_once(seed: int, flow_type: str, mode: str):
+def _chaos_congestion_config():
+    from repro.simnet import CongestionConfig
+    return CongestionConfig(
+        queue_capacity=512, kmin=64, kmax=256, min_rate_fraction=0.05,
+        cnp_interval=8_000.0, recovery_period=8_000.0, ai_fraction=0.02,
+        hai_fraction=0.1, recovery_jitter=0.1)
+
+
+def _chaos_once(seed: int, flow_type: str, mode: str,
+                congested: bool = False):
     """One seeded chaos run; returns JSON-safe (outcomes, counts, now).
 
     Same topology, fault plan, and endpoint logic as the tier-1 chaos
@@ -116,7 +131,8 @@ def _chaos_once(seed: int, flow_type: str, mode: str):
         max_backoff_retries=32, max_retransmits=8,
         on_target_failure="reroute" if seed % 2 else "abort",
         multicast=(flow_type == "replicate"
-                   and optimization is Optimization.LATENCY))
+                   and optimization is Optimization.LATENCY),
+        congestion=_chaos_congestion_config() if congested else None)
 
     if flow_type == "shuffle":
         dfi.init_shuffle_flow("chaos", ["node1|0", "node2|0"],
@@ -185,7 +201,8 @@ def _chaos_once(seed: int, flow_type: str, mode: str):
             if proc.is_alive:
                 raise RuntimeError(
                     f"hang: endpoint {key} still blocked at the horizon "
-                    f"(seed={seed}, flow={flow_type}, mode={mode})")
+                    f"(seed={seed}, flow={flow_type}, mode={mode}, "
+                    f"congested={congested})")
             outcomes[key] = "killed"
     return outcomes, counts, cluster.now
 
@@ -193,14 +210,16 @@ def _chaos_once(seed: int, flow_type: str, mode: str):
 def run_chaos_case(case) -> dict:
     """Worker: one chaos cell run twice; merges the no-hang and
     bit-reproducibility invariants into a JSON-safe per-seed record."""
-    seed, flow_type, mode = case
-    first = _chaos_once(seed, flow_type, mode)
-    second = _chaos_once(seed, flow_type, mode)
+    seed, flow_type, mode, congested = (case if len(case) == 4
+                                        else (*case, False))
+    first = _chaos_once(seed, flow_type, mode, congested)
+    second = _chaos_once(seed, flow_type, mode, congested)
     outcomes, counts, now = first
     return {
         "seed": seed,
         "flow": flow_type,
         "mode": mode,
+        "congested": congested,
         "outcomes": outcomes,
         "tuple_counts": counts,
         "final_time_ns": now,

@@ -97,6 +97,14 @@ class FlowOptions:
     #: the cluster's observability plane if it is not already on; tracing
     #: never perturbs the simulated timeline.
     trace: "bool | int | None" = None
+    #: Fabric congestion policy (see
+    #: :class:`~repro.simnet.congestion.CongestionConfig`): bounded egress
+    #: queues, ECN marking, and DCQCN-flavoured rate control. Initializing
+    #: a flow with this set installs the policy cluster-wide (one fabric,
+    #: one queueing discipline — a different config on a second flow
+    #: raises). ``None`` (the default) keeps the ideal-pipe fabric with a
+    #: bit-identical timeline.
+    congestion: "object | None" = None
 
     def __post_init__(self) -> None:
         if self.segment_size <= 0:
@@ -122,6 +130,11 @@ class FlowOptions:
                 and (not isinstance(self.trace, int) or self.trace < 1)):
             raise ConfigurationError(
                 "trace must be None, a bool, or a positive ring capacity")
+        if self.congestion is not None:
+            from repro.simnet.congestion import CongestionConfig
+            if not isinstance(self.congestion, CongestionConfig):
+                raise ConfigurationError(
+                    "congestion must be None or a CongestionConfig")
 
 
 @dataclass(frozen=True)

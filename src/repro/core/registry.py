@@ -77,6 +77,11 @@ class FlowRegistry:
                     f"{endpoint.node_id}, but the cluster has only "
                     f"{self.cluster.node_count} nodes")
         self._flows[descriptor.name] = descriptor
+        if descriptor.options.congestion is not None:
+            # Congestion policy is a fabric property: the first flow that
+            # carries one installs it cluster-wide (idempotent for equal
+            # configs, conflicting configs raise in install_congestion).
+            self.cluster.install_congestion(descriptor.options.congestion)
         if descriptor.ordering is Ordering.GLOBAL:
             counter_region = get_nic(self.master_node).register_memory(8)
             self._sequencers[descriptor.name] = SequencerHandle(

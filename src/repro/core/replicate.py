@@ -1185,8 +1185,18 @@ class MulticastReplicateTarget:
                 if self._progress_mark() != before:
                     deadline = self.env.now + self._peer_timeout
                 elif self.env.now >= deadline:
-                    self._waiter.disarm()
-                    self._raise_peer_failure()
+                    from repro.simnet.congestion import stall_is_congestion
+                    if stall_is_congestion(self.node):
+                        # Silence explained by inbound throttling: grant
+                        # a fresh window instead of misreporting
+                        # congestion as failure. Throttle state
+                        # self-clears, so the grace cannot loop forever.
+                        if self._metrics is not None:
+                            self._metrics.inc("core.congestion_grace")
+                        deadline = self.env.now + self._peer_timeout
+                    else:
+                        self._waiter.disarm()
+                        self._raise_peer_failure()
             waits = [event]
             if self._gap_deadlines:
                 waits.append(self.env.timeout(

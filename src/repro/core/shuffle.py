@@ -64,7 +64,9 @@ from repro.obs import (
     SEG_WRITE,
     endpoint_obs,
 )
+from repro.core.writers import _congestion_grace
 from repro.rdma.nic import get_nic
+from repro.simnet.congestion import stall_is_congestion
 
 if TYPE_CHECKING:
     from repro.simnet.node import Node
@@ -534,7 +536,9 @@ class BandwidthSourceChannel:
                 self._window_left = window
                 return
             if (self._max_retries is not None
-                    and attempt >= self._max_retries):
+                    and attempt >= self._max_retries
+                    and not _congestion_grace(self.node,
+                                              self.remote.node_id, metrics)):
                 raise FlowTimeoutError(
                     f"remote ring on node {self.remote.node_id} still "
                     f"full after {attempt} backoff rounds")
@@ -649,7 +653,9 @@ class BandwidthSourceChannel:
             # Remote ring full: back off (exponential + jitter), then
             # re-poll the footer.
             if (self._max_retries is not None
-                    and attempt >= self._max_retries):
+                    and attempt >= self._max_retries
+                    and not _congestion_grace(self.node,
+                                              self.remote.node_id, metrics)):
                 raise FlowTimeoutError(
                     f"remote ring on node {self.remote.node_id} still "
                     f"full after {attempt} backoff rounds")
@@ -900,7 +906,9 @@ class LatencySourceChannel:
                                 {"credits": self._available_credits})
             if self._available_credits <= 0:
                 if (self._max_retries is not None
-                        and attempt >= self._max_retries):
+                        and attempt >= self._max_retries
+                        and not _congestion_grace(
+                            self.node, self.remote.node_id, metrics)):
                     raise FlowTimeoutError(
                         f"no credit from node {self.remote.node_id} "
                         f"after {attempt} backoff rounds")
@@ -1651,9 +1659,22 @@ class ShuffleTarget:
         if self._peer_timeout is None:
             yield wait_event
             return
-        timer = self._env.timeout(self._peer_timeout)
-        yield self._env.any_of([wait_event, timer])
-        if not wait_event.triggered:
+        while True:
+            timer = self._env.timeout(self._peer_timeout)
+            yield self._env.any_of([wait_event, timer])
+            if wait_event.triggered:
+                return
+            if stall_is_congestion(self.node):
+                # The silence is explained by active throttling on an
+                # inbound path — congestion, not peer death. Re-arm the
+                # deadline instead of misfiring; throttle state
+                # self-clears, so the grace loop cannot spin forever.
+                metrics, _tracer = endpoint_obs(self.node,
+                                                self.descriptor.name,
+                                                self.descriptor.options)
+                if metrics is not None:
+                    metrics.inc("core.congestion_grace")
+                continue
             self._disarm()
             self._raise_peer_failure()
 

@@ -24,9 +24,26 @@ from repro.core.segment import (
     pack_footer_into,
 )
 from repro.rdma.nic import get_nic
+from repro.simnet.congestion import stall_is_congestion
 
 if TYPE_CHECKING:
     from repro.simnet.node import Node
+
+
+def _congestion_grace(node: "Node", remote_id: int, metrics) -> bool:
+    """A writer whose backoff budget ran out is forgiven while the path to
+    the remote ring is visibly congestion-throttled: the ring is full
+    because the fabric is slow, not because the peer went silent, so
+    raising ``FlowTimeoutError`` would misreport congestion as failure.
+    Throttle state self-clears (queues drain, rates recover), so grace is
+    bounded — once the path looks healthy again the very next exhausted
+    round raises."""
+    remote = node.cluster.node(remote_id)
+    if not stall_is_congestion(node, remote):
+        return False
+    if metrics is not None:
+        metrics.inc("core.congestion_grace")
+    return True
 
 
 class FooterRingWriter:
@@ -204,7 +221,9 @@ class FooterRingWriter:
                 self._window_left = window
                 return
             if (self._max_retries is not None
-                    and attempt >= self._max_retries):
+                    and attempt >= self._max_retries
+                    and not _congestion_grace(self.node,
+                                              self.handle.node_id, metrics)):
                 raise FlowTimeoutError(
                     f"remote ring on node {self.handle.node_id} still "
                     f"full after {attempt} backoff rounds")
@@ -237,7 +256,9 @@ class FooterRingWriter:
             if not footer_consumable(data):
                 return
             if (self._max_retries is not None
-                    and attempt >= self._max_retries):
+                    and attempt >= self._max_retries
+                    and not _congestion_grace(self.node,
+                                              self.handle.node_id, metrics)):
                 raise FlowTimeoutError(
                     f"remote ring on node {self.handle.node_id} still "
                     f"full after {attempt} backoff rounds")
@@ -339,7 +360,9 @@ class CreditRingWriter:
                                 self.env.now - self._credit_read_issued)
             if self._available <= 0:
                 if (self._max_retries is not None
-                        and attempt >= self._max_retries):
+                        and attempt >= self._max_retries
+                        and not _congestion_grace(
+                            self.node, self.handle.node_id, metrics)):
                     raise FlowTimeoutError(
                         f"no credit from node {self.handle.node_id} "
                         f"after {attempt} backoff rounds")

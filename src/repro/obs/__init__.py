@@ -29,11 +29,13 @@ from repro.obs.trace import (
     BACKOFF,
     CREDIT,
     DEFAULT_TRACE_CAPACITY,
+    ECN_MARK,
     FAULT_DETECT,
     FAULT_INJECT,
     FLOW_CLOSE,
     FOOTER_POLL,
     PREREAD,
+    RATE_CHANGE,
     REROUTE,
     RETRANSMIT,
     SEG_CONSUME,
@@ -146,5 +148,5 @@ __all__ = [
     "DEFAULT_TRACE_CAPACITY",
     "SEG_WRITE", "SEG_CONSUME", "FOOTER_POLL", "PREREAD", "CREDIT",
     "BACKOFF", "RETRANSMIT", "REROUTE", "FAULT_INJECT", "FAULT_DETECT",
-    "FLOW_CLOSE",
+    "FLOW_CLOSE", "ECN_MARK", "RATE_CHANGE",
 ]

@@ -33,6 +33,8 @@ REROUTE = "REROUTE"              #: shuffle source rerouted a failed target
 FAULT_INJECT = "FAULT_INJECT"    #: fault plan entry fires (synthesized)
 FAULT_DETECT = "FAULT_DETECT"    #: flow layer diagnosed a peer failure
 FLOW_CLOSE = "FLOW_CLOSE"        #: endpoint closed or tore down
+ECN_MARK = "ECN_MARK"            #: congestion plane marked a packet
+RATE_CHANGE = "RATE_CHANGE"      #: DCQCN/UD rate limiter moved a rate
 
 #: Default per-flow ring capacity (events kept; oldest overwritten).
 DEFAULT_TRACE_CAPACITY = 65536

@@ -160,6 +160,16 @@ class QueuePair:
             return None
         return faults
 
+    def _congestion(self):
+        """The installed congestion plane, or ``None`` when absent — the
+        ``congestion=None`` default short-circuits here, keeping the
+        exact event pattern (and bit-identical timeline) of a build
+        without the congestion subsystem."""
+        plane = self.node.cluster.congestion
+        if plane is None or not plane.active:
+            return None
+        return plane
+
     def _flush_after(self, wr: WorkRequest, delay: float,
                      status: WcStatus) -> None:
         """Fail ``wr`` after ``delay`` ns with ``status``. The error
@@ -301,6 +311,9 @@ class QueuePair:
             fault_delay = admit
         else:
             fault_delay = 0.0
+        congestion = self._congestion()
+        if congestion is not None:
+            fault_delay += congestion.rc_admit(self, size)
         remote_region = self._get_remote_nic().region(remote_rkey)
         remote_region.check_range(remote_offset, size)
         inline = size <= self._inline_max
@@ -308,6 +321,8 @@ class QueuePair:
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
                                          delay=offset_delay)
+        if congestion is not None:
+            congestion.rc_sent(self, size, arrival.delay)
         tail_len = min(size, _ORDERED_TAIL)
         split = size - tail_len
         prefix_pieces = []
@@ -434,8 +449,9 @@ class QueuePair:
                     "rdma.train_len")
             hist.record(count)
         faults = self._faults()
-        if faults is not None:
-            return self._post_train_faulted(entries, faults)
+        congestion = self._congestion()
+        if faults is not None or congestion is not None:
+            return self._post_train_sequential(entries, faults, congestion)
         nic = self.nic
         remote_nic = self._get_remote_nic()
         inline_max = self._inline_max
@@ -500,8 +516,9 @@ class QueuePair:
         self.env.schedule_train(actions)
         return [entry[0] for entry in entries]
 
-    def _post_train_faulted(self, entries, faults) -> list[WorkRequest]:
-        """Train posting under an active fault plane.
+    def _post_train_sequential(self, entries, faults,
+                               congestion=None) -> list[WorkRequest]:
+        """Train posting under an active fault and/or congestion plane.
 
         The NIC drains a doorbell train sequentially, so each WQE is
         admitted against the path state at its own wire-serialization start
@@ -509,9 +526,13 @@ class QueuePair:
         an outage that begins mid-train delivers the prefix of the train
         and flushes the failing WQE *and every later one* with
         ``RETRY_EXC_ERR`` (the QP enters the error state; real RC flushes
-        the rest of the send queue). Admitted WQEs take the eager
-        per-write machinery — chaos runs trade the O(1)-event fast path
-        for exact fault observability.
+        the rest of the send queue). Under congestion each WQE is rate-
+        paced and marked individually — a train is not exempt from the
+        egress queue bound. Admitted WQEs take the eager per-write
+        machinery — chaos/congestion runs trade the O(1)-event fast path
+        for exact per-WQE observability (arrival and ack timestamps stay
+        bit-identical to the fast path when both planes add zero delay:
+        the PR 4 train-equivalence contract).
         """
         env = self.env
         nic = self.nic
@@ -530,21 +551,27 @@ class QueuePair:
                 continue
             inline = size <= inline_max
             offset_delay = nic.engine_delay(inline)
-            wire_at = env.now + offset_delay
-            if uplink is not None and uplink.busy_until > wire_at:
-                wire_at = uplink.busy_until
-            admit = faults.rc_admission(self.node, self.remote_node,
-                                        at=wire_at)
-            if admit is None:
-                flush_rest = True
-                self._flush_after(wr, faults.detection_timeout,
-                                  WcStatus.RETRY_EXC_ERR)
-                continue
+            admit = 0.0
+            if faults is not None:
+                wire_at = env.now + offset_delay
+                if uplink is not None and uplink.busy_until > wire_at:
+                    wire_at = uplink.busy_until
+                admit = faults.rc_admission(self.node, self.remote_node,
+                                            at=wire_at)
+                if admit is None:
+                    flush_rest = True
+                    self._flush_after(wr, faults.detection_timeout,
+                                      WcStatus.RETRY_EXC_ERR)
+                    continue
+            if congestion is not None:
+                admit += congestion.rc_admit(self, size)
             region = remote_nic.region(rkey)
             region.check_range(offset, size)
             nic.bytes_posted += size
             arrival = fabric.unicast(self.node, self.remote_node, size,
                                      delay=offset_delay + admit)
+            if congestion is not None:
+                congestion.rc_sent(self, size, arrival.delay)
 
             def commit(_event, region=region, base=offset, parts=pieces):
                 plane = self._faults()
@@ -709,11 +736,16 @@ class QueuePair:
             fault_delay = admit
         else:
             fault_delay = 0.0
+        congestion = self._congestion()
+        if congestion is not None:
+            fault_delay += congestion.rc_admit(self, size)
         inline = size <= self._inline_max
         offset_delay = self.nic.engine_delay(inline) + fault_delay
         self.nic.bytes_posted += size
         arrival = self._fabric().unicast(self.node, self.remote_node, size,
                                          delay=offset_delay)
+        if congestion is not None:
+            congestion.rc_sent(self, size, arrival.delay)
         peer = self._peer
 
         def on_arrival(_event, data=data, imm=imm):
@@ -840,11 +872,18 @@ class UdQueuePair:
         members = group.member_nodes
         if not members:
             raise RdmaError(f"multicast group {group.name!r} has no members")
+        congestion = self.node.cluster.congestion
+        if congestion is not None and not congestion.active:
+            congestion = None
         inline = len(data) <= self.nic.profile.max_inline_size
         offset_delay = self.nic.engine_delay(inline)
+        if congestion is not None:
+            offset_delay += congestion.ud_admit(self.node, len(data))
         self.nic.bytes_posted += len(data)
         arrivals = self.node.cluster.fabric.multicast(
             self.node, members, len(data), delay=offset_delay)
+        if congestion is not None:
+            congestion.ud_sent(self.node, members, len(data))
         for member, arrival in arrivals.items():
             if arrival is None:
                 continue  # lost in the fabric

@@ -2,6 +2,11 @@
 InfiniBand EDR testbed (see DESIGN.md Section 2)."""
 
 from repro.simnet.cluster import Cluster
+from repro.simnet.congestion import (
+    CongestionConfig,
+    CongestionPlane,
+    stall_is_congestion,
+)
 from repro.simnet.fabric import Fabric
 from repro.simnet.faults import (
     FaultPlan,
@@ -47,6 +52,9 @@ __all__ = [
     "Node",
     "Fabric",
     "Cluster",
+    "CongestionConfig",
+    "CongestionPlane",
+    "stall_is_congestion",
     "FaultPlan",
     "FaultPlane",
     "LinkDown",

@@ -71,10 +71,16 @@ class Cluster:
         self.faults = None
         #: The observability plane, if enabled (see ``repro.obs``).
         self.obs = None
+        #: The congestion plane, if installed (see
+        #: ``repro.simnet.congestion``). ``None`` keeps every hot path on
+        #: the exact pre-congestion code — bit-identical timelines.
+        self.congestion = None
         from repro.simnet.faults import _install_default
         _install_default(self)
         from repro.obs import _install_default as _install_obs_default
         _install_obs_default(self)
+        from repro.simnet.congestion import _install_default as _install_cc
+        _install_cc(self)
 
     def install_faults(self, plan, detection_timeout: float | None = None):
         """Install a :class:`~repro.simnet.faults.FaultPlan` on this
@@ -94,6 +100,27 @@ class Cluster:
         self.faults = FaultPlane(self, plan, detection_timeout)
         self.fabric._faults = self.faults
         return self.faults
+
+    def install_congestion(self, config):
+        """Install a :class:`~repro.simnet.congestion.CongestionConfig` on
+        this cluster and return the resulting
+        :class:`~repro.simnet.congestion.CongestionPlane`.
+
+        Usually implicit: initializing a flow whose
+        ``FlowOptions.congestion`` is set installs the config
+        cluster-wide. Idempotent for an *equal* config (several flows may
+        carry the same policy); a conflicting config raises — one fabric
+        has one queueing discipline."""
+        from repro.simnet.congestion import CongestionPlane
+
+        if self.congestion is not None:
+            if self.congestion.config == config:
+                return self.congestion
+            raise ConfigurationError(
+                "a congestion plane with a different config is already "
+                "installed on this cluster")
+        self.congestion = CongestionPlane(self, config)
+        return self.congestion
 
     def enable_observability(self, trace: bool = False,
                              trace_capacity: int | None = None):
@@ -172,12 +199,13 @@ class Cluster:
                     "bytes_carried": link.bytes_carried,
                     "messages_carried": link.messages_carried,
                     "trains_carried": link.trains_carried,
+                    "busy_until_ns": link.busy_until_ns,
                 }
         kernel = {"shards": self.env.shard_count}
         shard_stats = getattr(self.env, "shard_stats", None)
         if shard_stats is not None:
             kernel = shard_stats()
-        return {
+        snapshot = {
             "nodes": self.obs.snapshot() if self.obs is not None else {},
             "nics": nics,
             "links": links,
@@ -190,6 +218,9 @@ class Cluster:
                 "fault_drops": self.fabric.fault_drops,
             },
         }
+        if self.congestion is not None:
+            snapshot["congestion"] = self.congestion.stats()
+        return snapshot
 
     @classmethod
     def racked(cls, racks: int, nodes_per_rack: int,

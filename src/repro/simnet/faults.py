@@ -342,9 +342,14 @@ class FaultPlane:
         self.cluster.node(node_id).fail_stop()
 
     def _scale_links(self, node_id: int, factor: float) -> None:
+        # rescale (not a bare ``bandwidth *=``) re-prices the queued
+        # backlog at the new rate, so a degrade landing mid-queue behaves
+        # identically whether it fires just before or just after a
+        # same-timestamp reserve.
         node = self.cluster.node(node_id)
-        node.uplink.bandwidth *= factor
-        node.downlink.bandwidth *= factor
+        now = self.env.now
+        node.uplink.rescale(factor, now)
+        node.downlink.rescale(factor, now)
 
     # -- reachability queries ---------------------------------------------
     def _path_open_at(self, a: int, b: int,

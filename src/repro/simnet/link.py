@@ -39,6 +39,44 @@ class Link:
         """Time at which the link finishes its last scheduled transmission."""
         return self._busy_until
 
+    @property
+    def busy_until_ns(self) -> int:
+        """Integer-ns busy horizon for snapshots/histograms: truncating at
+        the read keeps long-run observability sums drift-free while the
+        scheduling arithmetic stays exact float."""
+        return int(self._busy_until)
+
+    def backlog_ns(self, now: float) -> float:
+        """Remaining serialization time queued on the link at ``now``."""
+        remaining = self._busy_until - now
+        return remaining if remaining > 0.0 else 0.0
+
+    def backlog_bytes(self, now: float) -> int:
+        """Bytes queued but not yet clocked onto the wire at ``now`` — the
+        egress-queue occupancy the congestion plane marks against.
+        Integer (floor) so occupancy histograms are drift-free."""
+        remaining = self._busy_until - now
+        if remaining <= 0.0:
+            return 0
+        return int(remaining * self.bandwidth)
+
+    def rescale(self, factor: float, now: float) -> None:
+        """Change the link bandwidth by ``factor`` at ``now``, re-pricing
+        the queued-but-unserialized backlog at the new rate.
+
+        The bytes already scheduled past ``now`` still have to cross the
+        wire, so the busy horizon stretches (or shrinks) by ``1/factor``:
+        degrade-then-reserve and reserve-then-degrade at the same
+        timestamp land on identical completion times. Transmissions whose
+        arrival events were already committed keep their original
+        timestamps — the re-pricing governs the queue, not the past.
+        """
+        if factor <= 0:
+            raise SimulationError(f"link rescale factor must be positive: {factor}")
+        self.bandwidth *= factor
+        if self._busy_until > now:
+            self._busy_until = now + (self._busy_until - now) / factor
+
     def serialization_time(self, size: int) -> float:
         """Wire time needed to clock ``size`` bytes onto the link."""
         if size < 0:

@@ -1,0 +1,563 @@
+"""Congestion-plane tests: virtual egress queues, deterministic ECN,
+DCQCN rate control, and the incast/fairness/victim pathology scenarios.
+
+Covers config and FlowOptions validation, the integer link accessors and
+degrade re-pricing, the bounded virtual queue in isolation and under
+32:1 incast (peak never exceeds capacity), the marking band, the DCQCN
+cut/recovery state machine through real QPs, UD multicast pacing,
+congestion-off neutrality (an unbounded plane is timeline-invisible),
+seeded bit-reproducibility of every congested scenario, and the
+failure-detection interplay: throttling must not surface spurious
+``FlowTimeoutError``, while a genuinely dead peer still raises.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigurationError,
+    FlowPeerFailedError,
+    FlowTimeoutError,
+    SimulationError,
+)
+from repro.bench.flows import (
+    _payload_schema,
+    measure_fairness,
+    measure_incast,
+    measure_victim,
+)
+from repro.core import FLOW_END, DfiRuntime, Endpoint, FlowOptions, Schema
+from repro.rdma import get_nic
+from repro.simnet import (
+    Cluster,
+    CongestionConfig,
+    FaultPlan,
+    link_degrade,
+    node_crash,
+    stall_is_congestion,
+)
+from repro.simnet.congestion import _LinkQueue
+from repro.simnet.link import Link
+
+SCHEMA = Schema(("key", "uint64"), ("value", "uint64"))
+
+#: Scenario config for the pathology tests (tuned in datacenter()).
+DC = CongestionConfig.datacenter()
+
+
+# -- config validation -------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(queue_capacity=0)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(kmin=0)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(kmin=1024, kmax=512)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(pmax=0.0)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(min_rate_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(cnp_interval=-1.0)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(fast_recovery_rounds=0)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(recovery_jitter=1.0)
+    with pytest.raises(ConfigurationError):
+        CongestionConfig(ud_decrease=1.0)
+    # The two canned configs must validate.
+    CongestionConfig.unbounded()
+    CongestionConfig.datacenter()
+
+
+def test_flow_options_rejects_bad_congestion_value():
+    with pytest.raises(ConfigurationError):
+        FlowOptions(congestion="datacenter")
+    FlowOptions(congestion=None)
+    FlowOptions(congestion=DC)
+
+
+def test_install_congestion_idempotent_and_conflict_checked():
+    cluster = Cluster(node_count=2)
+    assert cluster.congestion is None
+    plane = cluster.install_congestion(DC)
+    assert cluster.congestion is plane and plane.active
+    assert cluster.install_congestion(CongestionConfig.datacenter()) is plane
+    with pytest.raises(ConfigurationError):
+        cluster.install_congestion(CongestionConfig.unbounded())
+    with pytest.raises(ConfigurationError):
+        cluster.install_congestion("nope")
+
+
+def test_stall_is_congestion_false_without_plane():
+    cluster = Cluster(node_count=2)
+    assert not stall_is_congestion(cluster.node(0))
+    assert not stall_is_congestion(cluster.node(0), cluster.node(1))
+
+
+# -- link accessors and degrade re-pricing -----------------------------------
+
+def test_link_integer_accessors():
+    link = Link("l", bandwidth=12.5)
+    assert link.busy_until_ns == 0
+    assert link.backlog_bytes(0.0) == 0
+    start, end = link.reserve(1000, 0.0)
+    assert (start, end) == (0.0, 80.0)
+    assert link.busy_until_ns == 80
+    assert link.backlog_ns(0.0) == 80.0
+    assert link.backlog_bytes(0.0) == 1000
+    assert link.backlog_bytes(40.0) == 500
+    assert link.backlog_bytes(80.0) == 0
+
+
+def test_link_rescale_reprices_backlog():
+    link = Link("l", bandwidth=12.5)
+    link.reserve(1000, 0.0)               # busy until 80
+    link.rescale(0.5, now=40.0)           # 500 bytes left at 6.25 B/ns
+    assert link.bandwidth == 6.25
+    assert link.busy_until == 40.0 + 500 / 6.25
+    with pytest.raises(SimulationError):
+        link.rescale(0.0, now=0.0)
+
+
+def test_degrade_and_reserve_commute_at_same_timestamp():
+    """The satellite regression: degrading a link and reserving on it at
+    the same timestamp must land on one completion time regardless of
+    order — rescale re-prices the queued bytes, reserve prices the new
+    ones, and both see the same post-degrade bandwidth."""
+    a = Link("a", bandwidth=12.5)
+    b = Link("b", bandwidth=12.5)
+    a.reserve(1000, 0.0)
+    b.reserve(1000, 0.0)
+    # Order 1: reserve the new message, then degrade.
+    _, end_a = a.reserve(500, 0.0)
+    a.rescale(0.5, now=0.0)
+    # Order 2: degrade, then reserve.
+    b.rescale(0.5, now=0.0)
+    _, end_b = b.reserve(500, 0.0)
+    assert a.busy_until == b.busy_until == end_b
+    assert end_a != end_b  # the already-priced slot keeps its timestamps
+
+
+def test_metrics_snapshot_reports_busy_until_and_congestion():
+    cluster = Cluster(node_count=2)
+    cluster.install_congestion(DC)
+    snapshot = cluster.metrics_snapshot()
+    for link_stats in snapshot["links"].values():
+        assert isinstance(link_stats["busy_until_ns"], int)
+    assert snapshot["congestion"]["packets_seen"] == 0
+    bare = Cluster(node_count=2).metrics_snapshot()
+    assert "congestion" not in bare
+
+
+# -- virtual queue unit behaviour --------------------------------------------
+
+def test_virtual_queue_admit_bounds_and_drains():
+    q = _LinkQueue()
+    bw, cap = 12.5, 1000.0
+    # Fill to capacity: no hold-off while it fits.
+    delay, level = q.admit(0.0, 600, cap, bw)
+    assert (delay, level) == (0.0, 600.0)
+    delay, level = q.admit(0.0, 400, cap, bw)
+    assert (delay, level) == (0.0, 1000.0)
+    # Overflow: held exactly until the queue drains room.
+    delay, level = q.admit(0.0, 250, cap, bw)
+    assert delay == 250 / bw
+    assert level == cap
+    assert q.peak == cap
+    # Drains at line rate afterwards.
+    now = q.last + 1000 / bw
+    assert q.peek(now, bw) == 0.0
+    assert q.peek(q.last, bw) == cap
+
+
+def test_virtual_queue_peek_is_conservative_before_last():
+    q = _LinkQueue()
+    q.admit(100.0, 500, 1e9, 12.5)
+    assert q.peek(50.0, 12.5) == 500.0  # stamped in this packet's future
+
+
+# -- marking band (deterministic RED) ----------------------------------------
+
+def _qp_pair(cluster, size=1 << 20):
+    remote = get_nic(cluster.node(1)).register_memory(size)
+    qp = get_nic(cluster.node(0)).create_qp(cluster.node(1))
+    return qp, remote
+
+
+def test_no_marks_below_kmin():
+    cluster = Cluster(node_count=2)
+    plane = cluster.install_congestion(DC)
+    qp, remote = _qp_pair(cluster)
+
+    def sender():
+        for _ in range(4):
+            wr = qp.post_write(b"x" * 1024, remote.rkey, 0)
+            yield wr.done
+            yield cluster.env.timeout(10_000.0)  # let the queue drain
+
+    cluster.node(0).spawn(sender())
+    cluster.run()
+    assert plane.packets_seen == 4
+    assert plane.ecn_marks == 0
+    assert plane.pfc_stalls == 0
+
+
+def test_everything_marks_above_kmax():
+    """Back-to-back posts that pin the virtual queue past kmax must mark
+    every packet admitted above the band (p = 1 ramp top)."""
+    config = CongestionConfig(queue_capacity=64 * 1024, kmin=1024,
+                              kmax=2048, pmax=1.0)
+    cluster = Cluster(node_count=2)
+    plane = cluster.install_congestion(config)
+    qp, remote = _qp_pair(cluster)
+
+    def sender():
+        wrs = [qp.post_write(b"x" * 4096, remote.rkey, 0)
+               for _ in range(8)]
+        for wr in wrs:
+            yield wr.done
+
+    cluster.node(0).spawn(sender())
+    cluster.run()
+    assert plane.packets_seen == 8
+    # Packet 1 sees only itself (4096 > kmax already) — with pmax=1 and
+    # the error-diffusion accumulator every single packet marks.
+    assert plane.ecn_marks == 8
+
+
+def test_marking_ramp_is_deterministic_error_diffusion():
+    """In the linear band the accumulated mark count equals the floor of
+    the summed probabilities — no RNG involved."""
+    config = CongestionConfig(queue_capacity=1 << 20, kmin=1000,
+                              kmax=9000, pmax=0.5)
+    cluster = Cluster(node_count=2)
+    plane = cluster.install_congestion(config)
+    qp, remote = _qp_pair(cluster)
+
+    def sender():
+        wrs = [qp.post_write(b"x" * 1000, remote.rkey, 0)
+               for _ in range(9)]
+        for wr in wrs:
+            yield wr.done
+
+    cluster.node(0).spawn(sender())
+    cluster.run()
+    # Occupancies seen: 1000..9000 in 1000-byte steps; probabilities
+    # 0, .0625, .125, ..., .4375, .5 sum to 2.25 -> exactly 2 marks.
+    assert plane.ecn_marks == 2
+
+
+# -- DCQCN state machine -----------------------------------------------------
+
+def test_cnp_cuts_rate_and_recovery_restores_line():
+    cluster = Cluster(node_count=2)
+    plane = cluster.install_congestion(DC)
+    qp, remote = _qp_pair(cluster)
+    state = plane.rc_state(qp)
+    line = plane.line_rate
+    assert state.rate == line
+
+    state.on_cnp()
+    # alpha ewma'd from 1.0, one multiplicative cut.
+    after_first = state.rate
+    assert after_first < line
+    assert state.target == line
+    assert state.cnps == 1 and state.cuts == 1
+
+    # The CNP gate: a second CNP inside the interval only moves alpha.
+    state.on_cnp()
+    assert state.rate == after_first
+    assert state.cnps == 2 and state.cuts == 1
+
+    # Recovery timers must climb all the way back to line rate.
+    cluster.run()
+    assert state.rate == line
+    assert state.alpha <= 1e-3
+
+
+def test_rate_floor_guarantees_progress():
+    config = CongestionConfig(min_rate_fraction=0.25)
+    cluster = Cluster(node_count=2)
+    plane = cluster.install_congestion(config)
+    qp, _ = _qp_pair(cluster)
+    state = plane.rc_state(qp)
+    floor = 0.25 * plane.line_rate
+    for _ in range(50):
+        state.last_cut = -1e18  # defeat the CNP gate
+        state.on_cnp()
+    assert state.rate == floor
+
+
+def test_throttled_admission_paces_wqes():
+    cluster = Cluster(node_count=2)
+    plane = cluster.install_congestion(DC)
+    qp, _ = _qp_pair(cluster)
+    state = plane.rc_state(qp)
+    state.rate = plane.line_rate / 4.0
+    first = state.admit(1000)
+    second = state.admit(1000)
+    assert first == 0.0
+    # The second WQE waits for the first's paced slot: 4x wire time.
+    assert second == pytest.approx(1000 / state.rate)
+
+
+# -- congestion-off neutrality -----------------------------------------------
+
+def test_unbounded_plane_is_timeline_invisible():
+    """An installed plane whose thresholds never trip adds exactly zero
+    delay: elapsed and per-sender finish times are bit-identical to a
+    run without any plane (the local version of
+    ``fingerprint.py --check-congestion-neutral``)."""
+    bare = measure_incast(4, bytes_per_sender=32 << 10, seed=11)
+    probed = measure_incast(
+        4, bytes_per_sender=32 << 10, seed=11,
+        options=FlowOptions(congestion=CongestionConfig.unbounded()))
+    assert probed["elapsed_ns"] == bare["elapsed_ns"]
+    assert probed["finish_ns"] == bare["finish_ns"]
+    plane = probed["cluster"].congestion
+    assert plane.ecn_marks == 0 and plane.pfc_stalls == 0
+    assert plane.packets_seen > 0  # the plane did observe the traffic
+
+
+# -- pathology scenarios -----------------------------------------------------
+
+@pytest.mark.parametrize("senders", (8, 16, 32))
+def test_incast_bounded_queue_and_reproducible(senders):
+    options = FlowOptions(congestion=DC)
+    first = measure_incast(senders, bytes_per_sender=64 << 10,
+                           options=options, seed=3)
+    second = measure_incast(senders, bytes_per_sender=64 << 10,
+                            options=options, seed=3)
+    assert first["elapsed_ns"] == second["elapsed_ns"]
+    assert first["finish_ns"] == second["finish_ns"]
+    stats = first["cluster"].congestion.stats()
+    peak = stats["links"]["node0.down"]["peak_queue_bytes"]
+    assert 0 < peak <= DC.queue_capacity
+    # Completion-time inflation vs the unthrottled fabric stays bounded.
+    bare = measure_incast(senders, bytes_per_sender=64 << 10, seed=3)
+    assert first["elapsed_ns"] <= 3.0 * bare["elapsed_ns"]
+
+
+def test_incast_32_to_1_marks_and_stalls():
+    run = measure_incast(32, bytes_per_sender=64 << 10,
+                         options=FlowOptions(congestion=DC), seed=3)
+    stats = run["cluster"].congestion.stats()
+    link = stats["links"]["node0.down"]
+    assert stats["ecn_marks"] > 50
+    assert stats["cnps_delivered"] > 0
+    assert stats["pfc_stalls"] > 0
+    assert link["mark_rate"] > 0.1
+    assert any(r["cuts"] > 0 for r in stats["qp_rates"].values())
+
+
+def test_fairness_jain_index():
+    options = FlowOptions(congestion=DC)
+    first = measure_fairness(4, options=options, seed=7)
+    second = measure_fairness(4, options=options, seed=7)
+    assert first["elapsed_ns"] == second["elapsed_ns"]
+    assert first["jain_index"] >= 0.9
+    # Fairness must not cost more than a bounded makespan inflation.
+    bare = measure_fairness(4, seed=7)
+    assert first["makespan_ns"] <= 3.0 * bare["makespan_ns"]
+
+
+def test_victim_behind_elephant_bounded_inflation():
+    bare = measure_victim(seed=5)
+    throttled = measure_victim(options=FlowOptions(congestion=DC), seed=5)
+    again = measure_victim(options=FlowOptions(congestion=DC), seed=5)
+    assert throttled["victim_elapsed_ns"] == again["victim_elapsed_ns"]
+    assert throttled["elephant_elapsed_ns"] == again["elephant_elapsed_ns"]
+    # The elephant fan-in really congested the shared egress port.
+    assert throttled["cluster"].congestion.ecn_marks > 0
+    # Bounded inflation for both roles — the victim must not be starved
+    # by the very rate control that bounds the queue it shares.
+    assert (throttled["victim_elapsed_ns"]
+            <= 2.0 * bare["victim_elapsed_ns"])
+    assert (throttled["elephant_elapsed_ns"]
+            <= 3.0 * bare["elephant_elapsed_ns"])
+
+
+# -- congestion vs failure detection -----------------------------------------
+
+def test_throttling_does_not_trip_peer_timeout():
+    """A hard-throttled incast with a peer_timeout far below the
+    throttled transfer time must still complete: the deadline checks ask
+    ``stall_is_congestion`` and grant self-clearing grace."""
+    options = FlowOptions(congestion=DC, peer_timeout=20_000.0)
+    run = measure_incast(16, bytes_per_sender=64 << 10, options=options,
+                         seed=3)
+    assert run["elapsed_ns"] > 20_000.0  # deadline tighter than the run
+    stats = run["cluster"].congestion.stats()
+    assert stats["ecn_marks"] > 0
+
+
+def test_dead_peer_still_raises_under_congestion():
+    """Congestion grace must not mask real failures: with the plane
+    active and marking, a crashed target is still surfaced as a flow
+    error — deterministically, not as a hang."""
+    def run_once():
+        cluster = Cluster(node_count=3, seed=9)
+        cluster.install_faults(
+            FaultPlan([node_crash(2, at=30_000.0)]),
+            detection_timeout=20_000.0)
+        dfi = DfiRuntime(cluster)
+        options = FlowOptions(
+            segment_size=256, source_segments=4, target_segments=4,
+            credit_threshold=2, peer_timeout=50_000.0,
+            max_backoff_retries=16, congestion=DC)
+        dfi.init_shuffle_flow("doomed", ["node1|0"], ["node2|0"], SCHEMA,
+                              shuffle_key="key", options=options)
+        outcome = {}
+
+        def source_thread():
+            try:
+                source = yield from dfi.open_source("doomed", 0)
+                for i in range(5000):
+                    yield from source.push((i, 1))
+                yield from source.close()
+                outcome["source"] = "completed"
+            except (FlowPeerFailedError, FlowTimeoutError) as exc:
+                outcome["source"] = type(exc).__name__
+                outcome["at"] = cluster.now
+
+        def target_thread():
+            target = yield from dfi.open_target("doomed", 0)
+            while (yield from target.consume()) is not FLOW_END:
+                pass  # killed by the crash injection
+
+        source = cluster.node(1).spawn(source_thread())
+        cluster.node(2).spawn(target_thread())
+        cluster.run(until=4_000_000.0)
+        assert not source.is_alive, "source hung past the horizon"
+        return outcome
+
+    first = run_once()
+    second = run_once()
+    assert first == second
+    assert first["source"] in ("FlowPeerFailedError", "FlowTimeoutError")
+    assert first["at"] < 4_000_000.0
+
+
+def test_incast_under_link_degrade_completes():
+    """The satellite invariant: ``link_degrade`` composing with bounded
+    queues (re-priced backlog + recalibrated virtual-queue drain) must
+    not hang an incast — it completes, still marking."""
+    plan = FaultPlan([link_degrade(0, at=20_000.0, duration=200_000.0,
+                                   factor=4.0)])
+    options = FlowOptions(congestion=DC, peer_timeout=300_000.0)
+    cluster = Cluster(node_count=9, seed=3)
+    cluster.install_faults(plan, detection_timeout=60_000.0)
+    dfi = DfiRuntime(cluster)
+    schema = _payload_schema(64)
+    dfi.init_shuffle_flow("incast",
+                          [Endpoint(1 + n, 0) for n in range(8)],
+                          [Endpoint(0, 0)], schema, shuffle_key="key",
+                          options=options)
+    pad = b"x" * 56
+    done = {"consumed": 0, "ended": False}
+
+    def source_thread(index):
+        source = yield from dfi.open_source("incast", index)
+        for start in range(0, 1024, 64):
+            rows = [(start + i, pad) for i in range(64)]
+            yield from source.push_batch(rows, target=0)
+        yield from source.close()
+
+    def target_thread():
+        target = yield from dfi.open_target("incast", 0)
+        while True:
+            batch = yield from target.consume_batch()
+            if batch is FLOW_END:
+                done["ended"] = True
+                return
+            done["consumed"] += len(batch)
+
+    for n in range(8):
+        cluster.node(1 + n).spawn(source_thread(n))
+    cluster.node(0).spawn(target_thread())
+    cluster.run(until=8_000_000.0)
+    assert done["ended"] and done["consumed"] == 8 * 1024
+    assert cluster.congestion.ecn_marks > 0
+
+
+# -- UD multicast pacing -----------------------------------------------------
+
+def test_ud_multicast_mark_aware_pacing():
+    from repro.rdma import UD_MTU, MulticastGroup
+
+    config = CongestionConfig(queue_capacity=1 << 20, kmin=2048,
+                              kmax=8192, cnp_interval=100.0)
+    cluster = Cluster(node_count=4, seed=0)
+    plane = cluster.install_congestion(config)
+    group = MulticastGroup("grp")
+    for node_id in range(1, 4):
+        nic = get_nic(cluster.node(node_id))
+        qp = nic.create_ud_qp()
+        rx = nic.register_memory(UD_MTU * 64)
+        for slot in range(64):
+            qp.post_recv(rx, slot * UD_MTU, UD_MTU)
+        group.join(qp)
+    sender = get_nic(cluster.node(0)).create_ud_qp()
+
+    def send_burst():
+        wrs = [sender.post_send_multicast(group, b"m" * 1024)
+               for _ in range(32)]
+        for wr in wrs:
+            yield wr.done
+
+    cluster.node(0).spawn(send_burst())
+    cluster.run()
+    state = plane.ud_state(cluster.node(0))
+    assert plane.ud_cuts > 0
+    # Recovery steps the factor back toward line once the burst ends.
+    assert state.factor == 1.0
+
+    # Determinism: same seed, same cut count.
+    cluster2 = Cluster(node_count=4, seed=0)
+    plane2 = cluster2.install_congestion(config)
+    group2 = MulticastGroup("grp")
+    for node_id in range(1, 4):
+        nic = get_nic(cluster2.node(node_id))
+        qp = nic.create_ud_qp()
+        rx = nic.register_memory(UD_MTU * 64)
+        for slot in range(64):
+            qp.post_recv(rx, slot * UD_MTU, UD_MTU)
+        group2.join(qp)
+    sender2 = get_nic(cluster2.node(0)).create_ud_qp()
+
+    def send_burst2():
+        wrs = [sender2.post_send_multicast(group2, b"m" * 1024)
+               for _ in range(32)]
+        for wr in wrs:
+            yield wr.done
+
+    cluster2.node(0).spawn(send_burst2())
+    cluster2.run()
+    assert plane2.ud_cuts == plane.ud_cuts
+    assert cluster2.now == cluster.now
+
+
+# -- observability -----------------------------------------------------------
+
+def test_queue_depth_and_mark_histograms_recorded():
+    cluster_holder = {}
+
+    def run():
+        run_ = measure_incast(8, bytes_per_sender=64 << 10,
+                              options=FlowOptions(congestion=DC, trace=True),
+                              seed=3)
+        cluster_holder["cluster"] = run_["cluster"]
+        return run_
+
+    run()
+    cluster = cluster_holder["cluster"]
+    snapshot = cluster.metrics_snapshot()
+    target_metrics = snapshot["nodes"][0]
+    assert target_metrics["histograms"]["net.queue_depth"]["count"] > 0
+    assert target_metrics["histograms"]["net.mark_occupancy"]["count"] > 0
+    assert target_metrics["counters"]["net.ecn_marks"] > 0
+    # Rate timelines land in the congestion trace ring.
+    tracer = cluster.obs.tracers["congestion"]
+    kinds = {event[1] for event in tracer.events()}
+    assert "ECN_MARK" in kinds and "RATE_CHANGE" in kinds
