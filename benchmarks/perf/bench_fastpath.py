@@ -1,0 +1,257 @@
+"""Wall-clock microbench of steady-state event elision (the fast path).
+
+Runs the canonical 64 B batched 1:8 bandwidth shuffle twice — fast path
+on (fused macro-events, merged wake+poll) and off (the verbatim
+event-by-event path behind ``REPRO_NO_FASTPATH``) — and reports, per
+mode:
+
+* wall tuples/s (host-speed dependent, report-only);
+* simulated elapsed ns (the determinism gate: **bit-identical across
+  the two modes**, and bit-identical to the committed record under
+  ``--check`` — the fast path is a wall-clock optimization only);
+* kernel events executed and events per wire segment (the elision
+  measurement: the fused path collapses the per-segment commit/ack/wake
+  cascade into one macro-event arm per doorbell train).
+
+Unlike ``bench_columnar`` (which times tuple construction as part of
+its source loop), the tuple batches here are materialized **before**
+the simulation starts: this bench measures the transport hot path the
+elision targets, not Python tuple literal construction. The simulated
+ns therefore differs from bench_columnar's record only by that
+construction's absence — the workload on the wire is identical.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/bench_fastpath.py
+
+Emits ``benchmarks/perf/BENCH_fastpath.json``. ``--check <committed>``
+compares a fresh run against the committed baseline (±20% band on
+tuples/s, report-only exit 0) and hard-asserts (exit 1) that the
+simulated ns of every scenario is bit-identical to the committed
+record and that the on/off pair still agrees. ``--profile`` wraps the
+run in cProfile.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, os.pardir, "src"))
+
+from profutil import maybe_profiled  # noqa: E402
+
+from repro.common import config  # noqa: E402
+from repro.core import (  # noqa: E402
+    FLOW_END,
+    DfiRuntime,
+    Endpoint,
+    FlowOptions,
+    Optimization,
+    Schema,
+)
+from repro.simnet import Cluster  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+OUTPUT = os.path.join(HERE, "BENCH_fastpath.json")
+
+REPS = int(os.environ.get("BENCH_FASTPATH_REPS", 3))
+TOTAL_BYTES = int(os.environ.get("BENCH_FASTPATH_BYTES", 4 << 20))
+
+TUPLE_SIZE = 64
+TARGETS = 8
+BATCH = 1024
+
+#: The committed wall number for this same scenario from the columnar
+#: hot-path PR (``shuffle-1to8-64B-batched`` in BENCH_columnar.json as
+#: of that PR) — the reference the elision work is measured against.
+#: Wall tuples/s is host-speed dependent, so the ratio is report-only;
+#: the hard gates are the sim-ns and event-count exact matches.
+PR6_COMMITTED_TUPLES_PER_SEC = 1_159_907.40
+
+
+def _run_shuffle(fastpath: bool) -> dict:
+    """One 64 B batched 1:8 shuffle with the fast path on or off."""
+    saved = config.FASTPATH_ENABLED
+    config.FASTPATH_ENABLED = fastpath
+    try:
+        cluster = Cluster(node_count=1 + TARGETS)
+        dfi = DfiRuntime(cluster)
+        schema = Schema(("key", "uint64"), ("pad", TUPLE_SIZE - 8))
+        dfi.init_shuffle_flow(
+            "fp", [Endpoint(0, 0)],
+            [Endpoint(1 + n, 0) for n in range(TARGETS)],
+            schema, shuffle_key="key", optimization=Optimization.BANDWIDTH,
+            options=FlowOptions())
+        count = TOTAL_BYTES // TUPLE_SIZE
+        pad = b"x" * (TUPLE_SIZE - 8)
+        # Materialize the input up front: the timed region is the
+        # transport (route/pack/post/commit/consume), not tuple literal
+        # construction.
+        batches = [[(i, pad) for i in range(start,
+                                            min(start + BATCH, count))]
+                   for start in range(0, count, BATCH)]
+        window = {"start": None, "end": 0.0}
+        stats = {"segments": 0}
+
+        def source_thread():
+            source = yield from dfi.open_source("fp", 0)
+            window["start"] = cluster.now
+            for batch in batches:
+                yield from source.push_batch(batch)
+            yield from source.close()
+            stats["segments"] = sum(
+                channel.segments_sent
+                for channel in source._channels)
+
+        received = [0] * TARGETS
+
+        def target_thread(index):
+            target = yield from dfi.open_target("fp", index)
+            while True:
+                batch = yield from target.consume_batch()
+                if batch is FLOW_END:
+                    break
+                received[index] += len(batch)
+            window["end"] = max(window["end"], cluster.now)
+
+        cluster.node(0).spawn(source_thread())
+        for n in range(TARGETS):
+            cluster.node(1 + n).spawn(target_thread(n))
+        events_before = cluster.env.events_executed
+        start = time.perf_counter()
+        cluster.run()
+        wall = time.perf_counter() - start
+        events = cluster.env.events_executed - events_before
+        assert sum(received) == count
+        segments = stats["segments"]
+        return {
+            "tuples": count,
+            "wall_seconds": wall,
+            "tuples_per_sec": count / wall,
+            "simulated_elapsed_ns": window["end"] - window["start"],
+            "events_executed": events,
+            "segments": segments,
+            "events_per_segment": events / segments if segments else 0.0,
+        }
+    finally:
+        config.FASTPATH_ENABLED = saved
+
+
+def _best_of(fastpath: bool) -> dict:
+    """Best wall time of REPS runs; simulated ns must agree across reps
+    (host speed moves tuples/s, never simulated time)."""
+    best = None
+    for _ in range(REPS):
+        result = _run_shuffle(fastpath)
+        if best is None:
+            best = result
+        else:
+            if result["simulated_elapsed_ns"] != best["simulated_elapsed_ns"]:
+                raise AssertionError(
+                    f"simulated ns drifted across reps: "
+                    f"{result['simulated_elapsed_ns']!r} vs "
+                    f"{best['simulated_elapsed_ns']!r}")
+            if result["events_executed"] != best["events_executed"]:
+                raise AssertionError(
+                    f"event count drifted across reps: "
+                    f"{result['events_executed']} vs "
+                    f"{best['events_executed']}")
+            if result["wall_seconds"] < best["wall_seconds"]:
+                best = result
+    return best
+
+
+def run() -> dict:
+    on = _best_of(True)
+    off = _best_of(False)
+    if on["simulated_elapsed_ns"] != off["simulated_elapsed_ns"]:
+        raise AssertionError(
+            f"fast path is not timing-neutral: on="
+            f"{on['simulated_elapsed_ns']!r} ns vs off="
+            f"{off['simulated_elapsed_ns']!r} ns")
+    scenarios = []
+    for mode, result in (("fastpath", on), ("eventpath", off)):
+        entry = {"scenario": f"shuffle-1to8-64B-batched-{mode}",
+                 "mode": mode, "reps": REPS}
+        entry.update(result)
+        scenarios.append(entry)
+    return {
+        "bench": "fastpath",
+        "tuple_size": TUPLE_SIZE,
+        "targets": TARGETS,
+        "batch": BATCH,
+        "scenarios": scenarios,
+        "speedup_wall": off["wall_seconds"] / on["wall_seconds"],
+        "events_elided": off["events_executed"] - on["events_executed"],
+        "pr6_committed_tuples_per_sec": PR6_COMMITTED_TUPLES_PER_SEC,
+        "speedup_vs_pr6_committed":
+            on["tuples_per_sec"] / PR6_COMMITTED_TUPLES_PER_SEC,
+    }
+
+
+def check_against(path: str, fresh: dict) -> int:
+    with open(path) as fh:
+        committed = json.load(fh)
+    failures = 0
+    committed_by = {s["scenario"]: s for s in committed["scenarios"]}
+    for scenario in fresh["scenarios"]:
+        name = scenario["scenario"]
+        base = committed_by.get(name)
+        if base is None:
+            print(f"MISSING {name}: not in committed baseline")
+            failures += 1
+            continue
+        if scenario["simulated_elapsed_ns"] != base["simulated_elapsed_ns"]:
+            print(f"SIM-NS MISMATCH {name}: fresh "
+                  f"{scenario['simulated_elapsed_ns']!r} vs committed "
+                  f"{base['simulated_elapsed_ns']!r}")
+            failures += 1
+        if scenario["events_executed"] != base["events_executed"]:
+            print(f"EVENTS MISMATCH {name}: fresh "
+                  f"{scenario['events_executed']} vs committed "
+                  f"{base['events_executed']}")
+            failures += 1
+        ratio = scenario["tuples_per_sec"] / base["tuples_per_sec"]
+        band = "OK" if 0.8 <= ratio <= 1.2 else "DRIFT(report-only)"
+        print(f"{band} {name}: {scenario['tuples_per_sec']:,.0f} t/s "
+              f"({ratio:.2f}x committed), "
+              f"{scenario['events_per_segment']:.2f} events/segment")
+    if failures:
+        print(f"bench_fastpath: {failures} determinism failure(s)")
+        return 1
+    print("bench_fastpath: simulated ns and event counts bit-identical "
+          "to committed baseline")
+    return 0
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    fresh = run()
+    for scenario in fresh["scenarios"]:
+        print(f"{scenario['scenario']:>40}: "
+              f"{scenario['tuples_per_sec']:>12,.0f} tuples/s wall, sim "
+              f"{scenario['simulated_elapsed_ns']:>12.2f} ns, "
+              f"{scenario['events_per_segment']:.2f} events/segment")
+    print(f"{'wall speedup (off -> on)':>40}: "
+          f"{fresh['speedup_wall']:.2f}x, "
+          f"{fresh['events_elided']} events elided")
+    print(f"{'vs PR6 committed (report-only)':>40}: "
+          f"{fresh['speedup_vs_pr6_committed']:.2f}x of "
+          f"{PR6_COMMITTED_TUPLES_PER_SEC:,.0f} t/s")
+    if args and args[0] == "--check":
+        if len(args) < 2:
+            print("usage: bench_fastpath.py --check <baseline.json>")
+            sys.exit(2)
+        sys.exit(check_against(args[1], fresh))
+    with open(OUTPUT, "w") as fh:
+        json.dump(fresh, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    maybe_profiled(main)

@@ -10,7 +10,9 @@ Run with::
 
     PYTHONPATH=src python benchmarks/perf/fingerprint.py [output.json]
 
-and diff the JSON against a pre-change capture.
+and diff the JSON against a pre-change capture. Every ``--check*`` mode
+reports drifted keys as a per-metric unified diff (one element per line
+for tuple-valued metrics) and exits 1 on any drift, 0 when clean.
 
 ``--check-fault-neutral`` runs the whole fingerprint twice — once bare,
 once with an *empty* ``FaultPlan`` installed on every cluster — and
@@ -38,6 +40,7 @@ on any difference: recording telemetry must never move simulated time
 
 from __future__ import annotations
 
+import difflib
 import json
 import os
 import sys
@@ -216,6 +219,36 @@ def collect() -> dict:
     return fp
 
 
+def _render(value) -> list:
+    """One repr line per element for sequences, so a drifted tuple metric
+    pins the exact drifted component in the diff instead of one long line."""
+    if isinstance(value, (tuple, list)):
+        return [f"  {item!r}" for item in value]
+    return [f"  {value!r}"]
+
+
+def _diff_metrics(header: str, expected: dict, got: dict,
+                  expected_name: str, got_name: str) -> bool:
+    """Print a per-metric unified diff of every drifted key.
+
+    Returns True when anything drifted (the caller's failure signal);
+    prints nothing and returns False when the two captures agree on every
+    key of ``expected``.
+    """
+    drifted = [key for key in expected if expected[key] != got.get(key)]
+    if not drifted:
+        return False
+    print(header)
+    for key in drifted:
+        expected_lines = [f"{key}:"] + _render(expected[key])
+        got_lines = [f"{key}:"] + _render(got.get(key))
+        for line in difflib.unified_diff(expected_lines, got_lines,
+                                         fromfile=expected_name,
+                                         tofile=got_name, lineterm=""):
+            print(f"  {line}")
+    return True
+
+
 def check_fault_neutral() -> int:
     """Assert an empty fault plan leaves the fingerprint bit-identical."""
     from repro.simnet import FaultPlan, faults
@@ -227,14 +260,9 @@ def check_fault_neutral() -> int:
     finally:
         faults.set_default_plan(None)
 
-    drifted = [key for key in bare
-               if bare[key] != with_plane.get(key)]
-    if drifted:
-        print("FAULT-NEUTRALITY VIOLATION: empty fault plane moved "
-              "simulated metrics:")
-        for key in drifted:
-            print(f"  {key}: bare={bare[key]!r} "
-                  f"with-plane={with_plane.get(key)!r}")
+    if _diff_metrics("FAULT-NEUTRALITY VIOLATION: empty fault plane moved "
+                     "simulated metrics:",
+                     bare, with_plane, "bare", "with-fault-plane"):
         return 1
     print(f"fault-neutral: {len(bare)} metrics bit-identical with an "
           f"empty fault plane installed")
@@ -258,14 +286,9 @@ def check_congestion_neutral() -> int:
     finally:
         congestion.set_default_config(None)
 
-    drifted = [key for key in bare
-               if bare[key] != with_plane.get(key)]
-    if drifted:
-        print("CONGESTION-NEUTRALITY VIOLATION: unbounded congestion "
-              "plane moved simulated metrics:")
-        for key in drifted:
-            print(f"  {key}: bare={bare[key]!r} "
-                  f"with-plane={with_plane.get(key)!r}")
+    if _diff_metrics("CONGESTION-NEUTRALITY VIOLATION: unbounded congestion "
+                     "plane moved simulated metrics:",
+                     bare, with_plane, "bare", "with-congestion-plane"):
         return 1
     print(f"congestion-neutral: {len(bare)} metrics bit-identical with an "
           f"unbounded congestion plane installed")
@@ -293,14 +316,10 @@ def check_with_obs() -> int:
     status = 0
     for label, probe in (("counters+tracing", with_obs),
                          ("counters+tracing+fault-plane", with_obs_faults)):
-        drifted = [key for key in bare if bare[key] != probe.get(key)]
-        if drifted:
+        if _diff_metrics(f"OBS-NEUTRALITY VIOLATION ({label}) moved "
+                         f"simulated metrics:",
+                         bare, probe, "bare", f"with-{label}"):
             status = 1
-            print(f"OBS-NEUTRALITY VIOLATION ({label}) moved simulated "
-                  f"metrics:")
-            for key in drifted:
-                print(f"  {key}: bare={bare[key]!r} "
-                      f"with-obs={probe.get(key)!r}")
         else:
             print(f"obs-neutral ({label}): {len(bare)} metrics "
                   f"bit-identical")
@@ -317,12 +336,8 @@ def check_baseline(path: str) -> int:
     for key in fresh:
         if key not in baseline:
             print(f"new metric (no baseline): {key}: {fresh[key]!r}")
-    drifted = [key for key in baseline if baseline[key] != fresh.get(key)]
-    if drifted:
-        print(f"FINGERPRINT DRIFT vs {path}:")
-        for key in drifted:
-            print(f"  {key}: baseline={baseline[key]!r} "
-                  f"fresh={fresh.get(key)!r}")
+    if _diff_metrics(f"FINGERPRINT DRIFT vs {path}:",
+                     baseline, fresh, "baseline", "fresh"):
         return 1
     print(f"fingerprint: {len(baseline)} baseline metrics bit-identical "
           f"vs {path}")

@@ -1,0 +1,139 @@
+"""Consolidated perf-bench runner: one BENCH_all.json trajectory file.
+
+Executes every ``bench_*.py`` in this directory (each refreshes its own
+committed ``BENCH_*.json``), then merges those artifacts into a single
+``BENCH_all.json`` with a flat per-scenario index (tuples/s or events/s
+plus simulated ns where a scenario reports them), so perf trajectories
+can be tracked in one file instead of eight scattered ones.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/perf/run_all.py [filter ...]
+
+Positional arguments filter which benches run (substring match on the
+file name); the merge always covers every committed artifact, so a
+partial run still produces a complete BENCH_all.json.
+
+``--merge-only`` skips running and just rebuilds BENCH_all.json from
+the committed per-bench JSONs — deterministic and fast. ``--check``
+compares the merge result against the committed BENCH_all.json and
+exits 1 on any difference; with ``--merge-only`` that is a pure
+consistency gate (the committed aggregate must always equal the merge
+of the committed per-bench files).
+
+Every bench must follow the house idiom ``OUTPUT = os.path.join(HERE,
+"BENCH_<name>.json")`` — the runner reads that literal from the source
+to learn which artifact belongs to which bench.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.abspath(os.path.join(HERE, os.pardir, os.pardir))
+OUTPUT = os.path.join(HERE, "BENCH_all.json")
+
+_OUTPUT_RE = re.compile(
+    r'^OUTPUT = os\.path\.join\(HERE, "(BENCH_[A-Za-z0-9_]+\.json)"\)',
+    re.MULTILINE)
+
+#: Scenario fields lifted into the flat index (when present).
+_INDEX_FIELDS = ("tuples_per_sec", "events_per_sec",
+                 "simulated_elapsed_ns", "events_per_segment")
+
+
+def discover() -> list[tuple[str, str]]:
+    """Return ``(bench_file, artifact_file)`` pairs, sorted by name."""
+    benches = []
+    for filename in sorted(os.listdir(HERE)):
+        if not (filename.startswith("bench_") and filename.endswith(".py")):
+            continue
+        with open(os.path.join(HERE, filename)) as fh:
+            match = _OUTPUT_RE.search(fh.read())
+        if match is None:
+            raise SystemExit(
+                f"{filename} does not declare its artifact with the "
+                f'OUTPUT = os.path.join(HERE, "BENCH_....json") idiom')
+        benches.append((filename, match.group(1)))
+    return benches
+
+
+def run_bench(filename: str) -> int:
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    env["PYTHONPATH"] = (src + os.pathsep + env["PYTHONPATH"]
+                         if env.get("PYTHONPATH") else src)
+    print(f"=== {filename} ===", flush=True)
+    return subprocess.run([sys.executable, os.path.join(HERE, filename)],
+                          env=env, cwd=REPO).returncode
+
+
+def merge(benches: list[tuple[str, str]]) -> dict:
+    merged: dict = {"bench": "all", "benchmarks": {}, "scenario_index": []}
+    for filename, artifact in benches:
+        name = filename[len("bench_"):-len(".py")]
+        path = os.path.join(HERE, artifact)
+        if not os.path.exists(path):
+            print(f"warning: {artifact} missing (bench {name} never run); "
+                  f"skipped from the merge")
+            continue
+        with open(path) as fh:
+            doc = json.load(fh)
+        merged["benchmarks"][name] = doc
+        for scenario in doc.get("scenarios", ()):
+            row = {"bench": name, "scenario": scenario.get("scenario")}
+            for field in _INDEX_FIELDS:
+                if field in scenario:
+                    row[field] = scenario[field]
+            merged["scenario_index"].append(row)
+    return merged
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    merge_only = "--merge-only" in args
+    check = "--check" in args
+    filters = [a for a in args if not a.startswith("--")]
+    benches = discover()
+    if not merge_only:
+        to_run = [(f, a) for f, a in benches
+                  if not filters or any(pat in f for pat in filters)]
+        failed = [f for f, _ in to_run if run_bench(f) != 0]
+        if failed:
+            print(f"run_all: bench failure(s): {', '.join(failed)}")
+            sys.exit(1)
+    merged = merge(benches)
+    count = len(merged["scenario_index"])
+    if check:
+        try:
+            with open(OUTPUT) as fh:
+                committed = json.load(fh)
+        except FileNotFoundError:
+            print(f"run_all: no committed {OUTPUT} to check against")
+            sys.exit(1)
+        if committed != merged:
+            print("run_all: BENCH_all.json is out of date with the "
+                  "per-bench artifacts — regenerate it with "
+                  "run_all.py --merge-only")
+            for name in merged["benchmarks"]:
+                if committed.get("benchmarks", {}).get(name) \
+                        != merged["benchmarks"][name]:
+                    print(f"  drifted: {name}")
+            sys.exit(1)
+        print(f"run_all: BENCH_all.json consistent "
+              f"({len(merged['benchmarks'])} benches, {count} scenarios)")
+        return
+    with open(OUTPUT, "w") as fh:
+        json.dump(merged, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {OUTPUT} ({len(merged['benchmarks'])} benches, "
+          f"{count} scenarios)")
+
+
+if __name__ == "__main__":
+    main()

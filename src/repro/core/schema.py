@@ -29,6 +29,7 @@ call on the generic pure-``struct`` fallback.
 
 from __future__ import annotations
 
+import operator
 import struct
 from dataclasses import dataclass
 from itertools import chain
@@ -41,11 +42,38 @@ from repro.core.types import DataType, resolve_type
 #: kernel drop the per-tuple integer probe).
 _INT_CODES = frozenset("bBhHiIqQ")
 
+#: Unsigned subset: key dtypes whose in-range values fit a C uint64,
+#: making the vectorized router bucket pass applicable.
+_UNSIGNED_CODES = frozenset("BHIQ")
+
+#: Lazily-resolved numpy module, or ``False`` when unavailable. The
+#: vectorized router pass is an optional accelerator only — the
+#: stdlib router stays the reference and the fallback, and nothing
+#: else in the simulator touches numpy.
+_NUMPY = None
+
+
+def _numpy():
+    global _NUMPY
+    if _NUMPY is None:
+        try:
+            import numpy
+            _NUMPY = numpy
+        except ImportError:  # pragma: no cover - depends on environment
+            _NUMPY = False
+    return _NUMPY
+
 #: Fibonacci-hash constants of :func:`repro.core.routing._fibonacci_hash_u64`
 #: (duplicated here for inlining into generated router source; the router
 #: tests pin the two definitions together).
 _HASH_MULT = 0x9E3779B97F4A7C15
 _HASH_MASK = (1 << 64) - 1
+
+#: Batches below this size stay on the scalar router loop — the
+#: vectorized pass has per-call conversion overhead that only pays
+#: off once the batch amortizes it (threshold is a pure wall-clock
+#: knob: both passes produce bit-identical partitions).
+_ROUTE_NP_MIN = 256
 
 #: Count-keyed batch-struct caches stop growing at this many entries;
 #: uncached counts fall back to power-of-two chunked packing instead of
@@ -292,9 +320,11 @@ class Schema:
         """
         if self._kernels is None:
             return None
-        if self._fields[key_index].dtype.code not in _INT_CODES:
+        code = self._fields[key_index].dtype.code
+        if code not in _INT_CODES:
             return None
-        return self._kernels.route_many(key_index, generic_route_many)
+        return self._kernels.route_many(key_index, generic_route_many,
+                                        code in _UNSIGNED_CODES)
 
     def fold_kernel(self, group_index: int, value_index: int, op: str):
         """Columnar combiner-fold factory for this schema, or ``None``
@@ -415,16 +445,22 @@ def unpack_rows(buffer):
 '''
 
 _ROUTE_TEMPLATE = '''\
-def %(name)s(tuples, target_count):
+def %(pyname)s(tuples, target_count):
     """Generated hash partitioner (key field %(key_index)d, int dtype)."""
     groups = [[] for _ in range(target_count)]
     try:
         if target_count & (target_count - 1) == 0:
             low = target_count - 1
-            appends = [group.append for group in groups]
+            appends = tuple(group.append for group in groups)
+            # ``>> 32 & low`` reads bits 32..32+b-1 of the product, all
+            # below bit 64 — identical with or without the ``& %(mask)d``
+            # truncation (Python's infinite two's complement agrees with
+            # the masked value on every bit position < 64), so the mask
+            # is dropped from this branch for speed. The modulo branch
+            # folds *all* bits and must keep it.
             for values in tuples:
-                appends[(values[%(key_index)d] * %(mult)d
-                         & %(mask)d) >> 32 & low](values)
+                appends[values[%(key_index)d] * %(mult)d
+                        >> 32 & low](values)
         else:
             appends = [group.append for group in groups]
             for values in tuples:
@@ -436,6 +472,45 @@ def %(name)s(tuples, target_count):
         # replay the whole batch through the generic router (partial
         # groups discarded), reproducing its isinstance semantics.
         return %(generic)s(tuples, target_count)
+    return groups
+%(np_block)s'''
+
+_ROUTE_NP_TEMPLATE = '''\
+
+
+def %(name)s(tuples, target_count):
+    """Vectorized bucket pass over %(pyname)s (identical partitions).
+
+    The bucket arithmetic wraps the key*multiplier product mod 2**64
+    exactly as the scalar kernel's mask does, and both branches read
+    only bits 32..63 of that product — the partitions are therefore
+    bit-identical for every in-range key, and the out-of-band cases
+    land on the same code paths the scalar kernel uses.
+    """
+    if len(tuples) < %(np_min)d:
+        return %(pyname)s(tuples, target_count)
+    try:
+        keys = _np_fromiter(map(_op_index, map(_ig%(key_index)d, tuples)),
+                            _np_uint64, len(tuples))
+    except TypeError:
+        # A key defied the declared integer dtype (``operator.index``
+        # rejects floats, strings, None): same destination as the
+        # scalar kernel's mistyped-batch path.
+        return %(generic)s(tuples, target_count)
+    except OverflowError:
+        # Negative or >= 2**64 keys fall outside the C-uint64 pass,
+        # but the scalar kernel routes them by full-precision product
+        # bits without erroring — replay through it, not the generic.
+        return %(pyname)s(tuples, target_count)
+    buckets = ((keys * _np_mult) >> _np_s32).astype(_np_int64)
+    if target_count & (target_count - 1) == 0:
+        buckets &= target_count - 1
+    else:
+        buckets %%= target_count
+    groups = [[] for _ in range(target_count)]
+    appends = tuple(group.append for group in groups)
+    for bucket, values in zip(buckets.tolist(), tuples):
+        appends[bucket](values)
     return groups
 '''
 
@@ -524,20 +599,41 @@ class _SchemaKernels:
         self._route_cache: dict = {}
         self._fold_cache: dict = {}
 
-    def route_many(self, key_index: int, generic_route_many):
+    def route_many(self, key_index: int, generic_route_many,
+                   unsigned: bool = False):
         """Hash-partition kernel for ``key_index`` (see
         :meth:`Schema.compiled_route_many`). The generic fallback is
         rebound per call site — kernels are shared across schemas, but
-        every generated router of a given key index shares one body."""
+        every generated router of a given key index shares one body.
+        Unsigned key dtypes additionally get the vectorized bucket
+        pass when numpy is importable (identical partitions either
+        way, so availability never changes results)."""
         kernel = self._route_cache.get(key_index)
         if kernel is None:
             name = f"_route_many_k{key_index}"
             generic_name = f"_generic_route_k{key_index}"
-            source = _ROUTE_TEMPLATE % {
-                "name": name, "key_index": key_index,
+            np_mod = _numpy() if unsigned else False
+            pyname = name + "_py" if np_mod else name
+            fields = {
+                "name": name, "pyname": pyname, "key_index": key_index,
                 "mult": _HASH_MULT, "mask": _HASH_MASK,
-                "generic": generic_name,
+                "generic": generic_name, "np_min": _ROUTE_NP_MIN,
             }
+            if np_mod:
+                namespace = self._namespace
+                if "_np_fromiter" not in namespace:
+                    namespace["_np_fromiter"] = np_mod.fromiter
+                    namespace["_np_uint64"] = np_mod.uint64
+                    namespace["_np_int64"] = np_mod.int64
+                    namespace["_np_mult"] = np_mod.uint64(_HASH_MULT)
+                    namespace["_np_s32"] = np_mod.uint64(32)
+                    namespace["_op_index"] = operator.index
+                namespace[f"_ig{key_index}"] = operator.itemgetter(
+                    key_index)
+                fields["np_block"] = _ROUTE_NP_TEMPLATE % fields
+            else:
+                fields["np_block"] = ""
+            source = _ROUTE_TEMPLATE % fields
             exec(compile(source,
                          f"<schema-router {self.codes!r}[{key_index}]>",
                          "exec"), self._namespace)

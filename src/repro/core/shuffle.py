@@ -22,6 +22,7 @@ the common-case push issues exactly one write and nothing else.
 from __future__ import annotations
 
 from collections import deque
+from struct import Struct as _Struct
 from typing import TYPE_CHECKING
 
 from repro.common.errors import (
@@ -32,6 +33,7 @@ from repro.common.errors import (
     FlowTimeoutError,
     QpFlushedError,
 )
+from repro.common import config as _config
 from repro.core.backoff import full_ring_backoff
 from repro.core.flowdef import (
     FLOW_END,
@@ -47,6 +49,7 @@ from repro.core.segment import (
     FLAG_CLOSED,
     FLAG_CONSUMABLE,
     FOOTER_SIZE,
+    FOOTER_STRUCT,
     SegmentRing,
     footer_consumable,
     pack_footer,
@@ -65,8 +68,28 @@ from repro.obs import (
     endpoint_obs,
 )
 from repro.core.writers import _congestion_grace
+from repro.rdma.completion import Opcode, WorkRequest
 from repro.rdma.nic import get_nic
 from repro.simnet.congestion import stall_is_congestion
+
+#: C-speed footer "used bytes" parse for the drain hot loop
+#: (little-endian u32 at the footer head; see repro.core.segment).
+_FOOTER_USED = _Struct("<I").unpack_from
+
+#: Prebound footer encoder for the fused staging hot path, with the
+#: flag word of a plain CONSUMABLE footer (source_index 0) computed
+#: once through :func:`pack_footer_into` itself so any change to the
+#: footer's flag packing stays authoritative.
+_FOOTER_PACK_INTO = FOOTER_STRUCT.pack_into
+
+
+def _consumable_word() -> int:
+    scratch = bytearray(FOOTER_SIZE)
+    pack_footer_into(scratch, 0, 0, FLAG_CONSUMABLE, 0)
+    return FOOTER_STRUCT.unpack_from(scratch)[1]
+
+
+_CONSUMABLE_WORD = _consumable_word()
 
 if TYPE_CHECKING:
     from repro.simnet.node import Node
@@ -193,6 +216,27 @@ class BandwidthSourceChannel:
         self._pending_segments = (plane.pending_segments
                                   if plane is not None else None)
         self._tid = f"s{channel_tag[1]}->t{channel_tag[2]}"
+        # Steady-state event elision (DESIGN.md, "Steady-state event
+        # elision"): route this channel's doorbell trains through the
+        # fused macro-event path when nothing can observe the machinery
+        # difference — telemetry off and source/target on the same shard
+        # lane. The *dynamic* parts of the steady-state predicate (fault
+        # plan, congestion plane) are re-checked inside
+        # ``post_write_train_fused`` on every flush, so a plane turning
+        # active de-elides the very next train.
+        target_node = node.cluster.node(handle.node_id)
+        self._fused = (_config.FASTPATH_ENABLED
+                       and self._metrics is None
+                       and self._tracer is None
+                       and (node.env.shard_count == 1
+                            or node._shard == target_node._shard))
+        #: Remote ring region, resolved once on the first fused train (the
+        #: rkey registration lives as long as the flow, so the lookup and
+        #: the whole-ring range check are loop-invariant).
+        self._remote_region = None
+        #: Reused entry list for fused trains (cleared per flush; the
+        #: macro-event copies nothing out of it after posting returns).
+        self._fused_entries = []
 
     def _collect_obs(self):
         """Read-time counter harvest (see MetricsRegistry.add_collector)."""
@@ -267,6 +311,18 @@ class BandwidthSourceChannel:
                 else:
                     cap = yield from self._train_begin()
                 cap = min(cap, (total - index) // seg_tuples)
+                if self._fused and self.qp.steady_state():
+                    entries = self._fused_entries
+                    entries.clear()
+                    for _ in range(cap):
+                        self.schema.pack_many_into(
+                            self._staging, self._staging_base,
+                            tuples[index:index + seg_tuples])
+                        index += seg_tuples
+                        self._train_stage_fused(entries)
+                    self.tuples_sent += cap * seg_tuples
+                    self._train_finish_fused(entries)
+                    continue
                 for _ in range(cap):
                     self.schema.pack_many_into(
                         self._staging, self._staging_base,
@@ -331,6 +387,18 @@ class BandwidthSourceChannel:
                 else:
                     cap = yield from self._train_begin()
                 cap = min(cap, (size - index) // capacity)
+                if self._fused and self.qp.steady_state():
+                    entries = self._fused_entries
+                    entries.clear()
+                    for _ in range(cap):
+                        base = self._staging_base
+                        self._staging[base:base + capacity] = \
+                            view[index:index + capacity]
+                        index += capacity
+                        self._train_stage_fused(entries)
+                    self.tuples_sent += cap * seg_tuples
+                    self._train_finish_fused(entries)
+                    continue
                 for _ in range(cap):
                     base = self._staging_base
                     self._staging[base:base + capacity] = \
@@ -592,6 +660,57 @@ class BandwidthSourceChannel:
                               ) * self._slot_size
         self._window_left -= 1
 
+    def _train_stage_fused(self, entries) -> None:
+        """Stage one full staging slot directly as a fused train entry,
+        skipping ``post_write``'s staging machinery: the steady-state
+        predicate holds (caller checked ``qp.steady_state()``), so no
+        telemetry block runs, the remote region is the cached
+        loop-invariant one, and unsignaled WQEs — which the ring protocol
+        drops without ever observing — get no WorkRequest at all. Ring
+        state advances exactly as in :meth:`_train_stage_full_segment`."""
+        base = self._staging_base
+        _FOOTER_PACK_INTO(self._staging, base + self.segment_payload,
+                          self.segment_payload, _CONSUMABLE_WORD, self._seq)
+        if self._local_index == self._ring_segments - 1:
+            wr = WorkRequest(self.env, None, Opcode.WRITE, True)
+            self._wrap_wr = wr
+        else:
+            wr = None
+        entries.append((wr, self._slot_size,
+                        ((0, self._staging_view[base:base + self._slot_size]),),
+                        self._remote_index * self._remote_slot))
+        self.segments_sent += 1
+        self._seq += 1
+        self._remote_index = (self._remote_index + 1
+                              ) % self.remote.segment_count
+        self._local_index = (self._local_index + 1) % self._ring_segments
+        self._flushes += 1
+        self._staging_base = (self._flushes % self._staging_slots
+                              ) * self._slot_size
+        self._window_left -= 1
+
+    def _train_finish_fused(self, entries) -> None:
+        """Fused counterpart of :meth:`_train_finish`: post the directly
+        built entries through ``post_ring_train_fused`` (one macro-event
+        arm), then pipeline the next window read as usual."""
+        region = self._remote_region
+        if region is None:
+            region = self._resolve_remote_region()
+        self.qp.post_ring_train_fused(entries, region)
+        self._pending_footer_read = None
+        if self._window_left == 0 and self._pipelined_preread:
+            self._pending_window_read = self._read_footer_ahead(
+                self._train_window)
+
+    def _resolve_remote_region(self):
+        """One-time lookup + whole-ring range check for the fused path
+        (``post_write`` re-checks per WQE; fused trains only ever target
+        ring slots, so one bound proof covers every offset)."""
+        region = self.qp._get_remote_nic().region(self.remote.rkey)
+        region.check_range(0, self.remote.segment_count * self._remote_slot)
+        self._remote_region = region
+        return region
+
     def _flush_train_single(self):
         """Generator: flush the (full) current staging slot as a train of
         one. Even a one-WQE train wins over the eager ``_flush``: the
@@ -605,6 +724,13 @@ class BandwidthSourceChannel:
             self.qp.send_cq.poll(max_entries=64)
         if not self._window_left:
             yield from self._acquire_train_window()
+        if self._fused and self.qp.steady_state():
+            entries = self._fused_entries
+            entries.clear()
+            self._train_stage_fused(entries)
+            self._used = 0
+            self._train_finish_fused(entries)
+            return
         self._train_stage_full_segment()
         self._used = 0
         self._train_finish()
@@ -613,7 +739,7 @@ class BandwidthSourceChannel:
         """Ring the doorbell for the staged train. When the train used up
         the window, pipeline the next window's footer read behind it —
         the train analogue of the paper's per-segment footer pre-read."""
-        self.qp.ring_doorbell()
+        self.qp.ring_doorbell(fused=self._fused)
         # Any per-segment pre-read refers to a slot the train wrote over.
         self._pending_footer_read = None
         if self._window_left == 0 and self._pipelined_preread:
@@ -1066,8 +1192,7 @@ class TargetChannel:
             flags = mem[footer_offset + 4]
             if not (flags & FLAG_CONSUMABLE):
                 break
-            used = int.from_bytes(mem[footer_offset:footer_offset + 4],
-                                  "little")
+            used = _FOOTER_USED(mem, footer_offset)[0]
             if flags & (FLAG_CLOSED | FLAG_ABORTED):
                 if flags & FLAG_ABORTED:
                     self.aborted = True
@@ -1138,8 +1263,7 @@ class TargetChannel:
             flags = mem[footer_offset + 4]
             if not (flags & FLAG_CONSUMABLE):
                 break
-            used = int.from_bytes(mem[footer_offset:footer_offset + 4],
-                                  "little")
+            used = _FOOTER_USED(mem, footer_offset)[0]
             if flags & (FLAG_CLOSED | FLAG_ABORTED):
                 if flags & FLAG_ABORTED:
                     self.aborted = True
@@ -1623,12 +1747,46 @@ class ShuffleTarget:
         self._abort_seen = registry.flow_aborted(descriptor.name)
         self._peer_timeout = descriptor.options.peer_timeout
         self._env = self.node.env
+        # Merged wake+poll (the target half of steady-state event
+        # elision): with no peer-timeout bound, the post-wake poll charge
+        # is an unconditional constant, so the doorbell hook can schedule
+        # the armed wake event directly at ``commit + cpu_poll_cost``
+        # instead of a zero-delay wake whose resume immediately arms a
+        # poll timeout for that same instant. The consuming process
+        # resumes at the identical simulated time (a zero-delay wake
+        # never advances the clock, and ``_poll_delay`` is the exact
+        # float ``node.compute(cpu_poll_cost)`` would charge —
+        # ``_cpu_scale`` is construction-constant); one kernel event and
+        # one generator round-trip per wakeup are elided. With a
+        # peer-timeout bound the wake outcome feeds a deadline decision,
+        # so those flows keep the event-by-event wait verbatim.
+        if _config.FASTPATH_ENABLED and self._peer_timeout is None:
+            self._poll_delay = (self.node.cluster.profile.cpu_poll_cost
+                                / self.node._cpu_scale)
+        else:
+            self._poll_delay = None
         for index, channel in enumerate(channels):
             channel.ring.region.add_write_hook(
                 self._make_doorbell(index))
 
     def _make_doorbell(self, index: int):
         dirty = self._dirty
+        poll_delay = self._poll_delay
+        if poll_delay is not None:
+            env = self._env
+
+            def ring_doorbell(_offset, _length):
+                dirty[index] = None
+                event = self._wake_event
+                if event is not None:
+                    self._wake_event = None
+                    # Fused wake: trigger the armed event at the exact
+                    # instant the event path's post-wake poll timeout
+                    # would fire (mirrors Timeout construction).
+                    event._value = None
+                    env._schedule(event, poll_delay)
+            return ring_doorbell
+
         def ring_doorbell(_offset, _length):
             dirty[index] = None
             event = self._wake_event
@@ -1777,8 +1935,11 @@ class ShuffleTarget:
                 continue
             yield from self._bounded_wait(wait_event)
             self._disarm()
-            yield self.node.compute(
-                self.node.cluster.profile.cpu_poll_cost)
+            if self._poll_delay is None:
+                # Event path: charge the poll separately. (The fused
+                # wake above already fired at wake + poll cost.)
+                yield self.node.compute(
+                    self.node.cluster.profile.cpu_poll_cost)
 
     def consume_batch(self):
         """Generator: return every tuple available right now as one list,
@@ -1831,8 +1992,11 @@ class ShuffleTarget:
                 continue
             yield from self._bounded_wait(wait_event)
             self._disarm()
-            yield self.node.compute(
-                self.node.cluster.profile.cpu_poll_cost)
+            if self._poll_delay is None:
+                # Event path: charge the poll separately. (The fused
+                # wake above already fired at wake + poll cost.)
+                yield self.node.compute(
+                    self.node.cluster.profile.cpu_poll_cost)
 
     def consume_bytes(self):
         """Generator: return a list of zero-copy payload ``memoryview``
@@ -1880,8 +2044,11 @@ class ShuffleTarget:
                 continue
             yield from self._bounded_wait(wait_event)
             self._disarm()
-            yield self.node.compute(
-                self.node.cluster.profile.cpu_poll_cost)
+            if self._poll_delay is None:
+                # Event path: charge the poll separately. (The fused
+                # wake above already fired at wake + poll cost.)
+                yield self.node.compute(
+                    self.node.cluster.profile.cpu_poll_cost)
 
     def _finished(self) -> bool:
         """True once the flow is fully drained (hook for subclasses)."""

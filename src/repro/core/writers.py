@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.common import config as _config
 from repro.common.errors import FlowTimeoutError
 from repro.core.backoff import full_ring_backoff
 from repro.core.registry import RingHandle
@@ -75,6 +76,15 @@ class FooterRingWriter:
         #: Observability registry of the owning node (``None`` when the
         #: plane is off — one attribute check per guarded site).
         self._metrics = node.metrics
+        # Steady-state event elision (see BandwidthSourceChannel): fuse
+        # doorbell trains into macro-events when telemetry is off and
+        # both ends share a shard lane; fault/congestion planes are
+        # re-checked per flush inside ``post_write_train_fused``.
+        target_node = node.cluster.node(handle.node_id)
+        self._fused = (_config.FASTPATH_ENABLED
+                       and self._metrics is None
+                       and (node.env.shard_count == 1
+                            or node._shard == target_node._shard))
 
     def write_segment(self, payload: bytes, flags: int, seq: int,
                       source_index: int = 0):
@@ -188,7 +198,7 @@ class FooterRingWriter:
             index += take
             if self._metrics is not None:
                 self._metrics.inc("core.segments_written", take)
-            self.qp.ring_doorbell()
+            self.qp.ring_doorbell(fused=self._fused)
             # Any per-segment pre-read refers to a slot this train wrote.
             self._pending_read = None
             if self._window_left == 0:

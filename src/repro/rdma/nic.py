@@ -146,6 +146,20 @@ class RNic:
         self.doorbell_trains += 1
         return offsets
 
+    def engine_delay_train_one(self, inline: bool) -> float:
+        """Single-WQE shape of :meth:`engine_delay_train` — identical
+        arithmetic and counters (including the train tally) for trains
+        of one, the common case on hash-routed shuffles, without the
+        list machinery."""
+        now = self.env.now
+        busy = self._engine_busy_until
+        start = busy if busy > now else now
+        self._engine_busy_until = start + self.profile.nic_wqe_service
+        self.wqes_processed += 1
+        self.doorbell_trains += 1
+        return (start - now) + (self.profile.nic_processing_inline
+                                if inline else self.profile.nic_processing)
+
     def __repr__(self) -> str:
         return f"<RNic {self.node.name} regions={len(self._regions)}>"
 

@@ -369,15 +369,174 @@ class QueuePair:
         return wr
 
     # -- doorbell trains ----------------------------------------------------
-    def ring_doorbell(self) -> list[WorkRequest]:
+    def ring_doorbell(self, fused: bool = False) -> list[WorkRequest]:
         """Submit every WQE staged with ``post_write(doorbell=False)`` as
         one doorbell train and return their work requests (in posting
-        order). A no-op returning ``[]`` when nothing is staged."""
+        order). A no-op returning ``[]`` when nothing is staged.
+
+        ``fused=True`` requests the steady-state macro-event path
+        (:meth:`post_write_train_fused`); the request is advisory — the
+        train de-elides back to the event-by-event path the moment a
+        fault plan or congestion plane is active, or telemetry is on.
+        """
         staged = self._staged
         if not staged:
             return []
         self._staged = []
+        if fused:
+            return self.post_write_train_fused(staged)
         return self._post_train(staged)
+
+    def steady_state(self) -> bool:
+        """True when no plane could observe per-WQE event machinery:
+        telemetry off, no active fault plan, no active congestion plane.
+        The dynamic half of the steady-state predicate — callers on the
+        fused path re-check it on every flush (de-elision)."""
+        return (self._metrics is None and self._faults() is None
+                and self._congestion() is None)
+
+    def post_ring_train_fused(self, entries, region) -> None:
+        """Slimmed fused posting for ring channels that pre-resolve their
+        remote region: ``entries`` is a list of ``(wr, size, pieces,
+        offset)`` where ``wr`` is ``None`` for unsignaled fire-and-forget
+        WQEs (the ring protocols drop them unobserved, so no WorkRequest
+        needs to exist) and ``region`` is the channel's pre-validated
+        remote ring region. Callers must hold :meth:`steady_state` —
+        this method performs no de-elision checks of its own.
+
+        Timing-identical to staging each entry through ``post_write``
+        and ringing the doorbell: same ``engine_delay_train`` /
+        ``unicast_train`` bookings, same commit/ack instants, and one
+        ``schedule_macro`` arm exactly like ``_post_train``'s single
+        ``schedule_train`` arm.
+        """
+        nic = self.nic
+        env = self.env
+        ack_latency = self._ack_delta
+        inline_max = self._inline_max
+        if len(entries) == 1:
+            wr, size, pieces, offset = entries[0]
+            delay = nic.engine_delay_train_one(size <= inline_max)
+            nic.bytes_posted += size
+            arrival = self._fabric().unicast_train_one(
+                self.node, self.remote_node, size, delay)
+            commit = (arrival, _commit_write, (region, offset, pieces))
+            if wr is not None:
+                env.schedule_macro(
+                    [commit, (arrival + ack_latency,
+                              self._finish_signaled, (wr, size))])
+            else:
+                env.schedule_macro([commit])
+            return
+        sizes = []
+        inlines = []
+        total = 0
+        for entry in entries:
+            size = entry[1]
+            sizes.append(size)
+            inlines.append(size <= inline_max)
+            total += size
+        delays = nic.engine_delay_train(inlines)
+        nic.bytes_posted += total
+        arrivals = self._fabric().unicast_train(self.node, self.remote_node,
+                                                sizes, delays)
+        actions = []
+        finish_signaled = self._finish_signaled
+        last = len(entries) - 1
+        needs_sort = False
+        for position, ((wr, size, pieces, offset),
+                       arrival) in enumerate(zip(entries, arrivals)):
+            actions.append((arrival, _commit_write,
+                            (region, offset, pieces)))
+            if wr is not None:
+                actions.append((arrival + ack_latency, finish_signaled,
+                                (wr, size)))
+                if position != last:
+                    needs_sort = True
+        if needs_sort:
+            actions.sort(key=_action_when)
+        env.schedule_macro(actions)
+
+    def post_write_train_fused(self, entries) -> list[WorkRequest]:
+        """Steady-state twin of :meth:`_post_train`: book the whole
+        segment-train lifecycle (NIC arbitration → wire reservation →
+        remote commit → acknowledgment) analytically and walk it with a
+        single pooled :class:`~repro.simnet.kernel.MacroEvent` instead
+        of the closure-based timer train.
+
+        Bit-identical to :meth:`_post_train` by construction — same
+        ``engine_delay_train`` / ``unicast_train`` bookings, same commit
+        and ack timestamps, and ``schedule_macro`` advances kernel
+        sequence numbers in lockstep with ``schedule_train`` (one
+        ``_schedule_abs`` per arm and per hop). **De-elides instantly**:
+        any active fault plan or congestion plane, or telemetry being
+        on, routes the train through :meth:`_post_train` unchanged —
+        the fused path never owns a decision those planes could see.
+        """
+        if not entries:
+            return []
+        if (self._metrics is not None or self._faults() is not None
+                or self._congestion() is not None):
+            # De-elision: a plane (or the telemetry counters) is awake —
+            # fall back to the event-by-event machinery verbatim.
+            return self._post_train(entries)
+        nic = self.nic
+        remote_nic = self._get_remote_nic()
+        inline_max = self._inline_max
+        ack_latency = self._ack_delta
+        env = self.env
+        if len(entries) == 1:
+            wr, size, pieces, rkey, offset = entries[0]
+            region = remote_nic.region(rkey)
+            region.check_range(offset, size)
+            delay = nic.engine_delay_train_one(size <= inline_max)
+            nic.bytes_posted += size
+            arrival = self._fabric().unicast_train_one(
+                self.node, self.remote_node, size, delay)
+            ack_at = arrival + ack_latency
+            commit = (arrival, _commit_write, (region, offset, pieces))
+            if wr.signaled:
+                env.schedule_macro(
+                    [commit, (ack_at, self._finish_signaled, (wr, size))])
+            else:
+                wr._complete_at(ack_at)
+                env.schedule_macro([commit])
+            return [wr]
+        sizes = []
+        inlines = []
+        regions = []
+        total = 0
+        for _wr, size, pieces, rkey, offset in entries:
+            region = remote_nic.region(rkey)
+            region.check_range(offset, size)
+            regions.append(region)
+            sizes.append(size)
+            inlines.append(size <= inline_max)
+            total += size
+        delays = nic.engine_delay_train(inlines)
+        nic.bytes_posted += total
+        arrivals = self._fabric().unicast_train(self.node, self.remote_node,
+                                                sizes, delays)
+        actions = []
+        finish_signaled = self._finish_signaled
+        last = len(entries) - 1
+        needs_sort = False
+        for position, ((wr, size, pieces, rkey, offset), region,
+                       arrival) in enumerate(zip(entries, regions,
+                                                 arrivals)):
+            actions.append((arrival, _commit_write,
+                            (region, offset, pieces)))
+            ack_at = arrival + ack_latency
+            if wr.signaled:
+                actions.append((ack_at, finish_signaled, (wr, size)))
+                if position != last:
+                    needs_sort = True
+            else:
+                wr._complete_at(ack_at)
+        if needs_sort:
+            actions.sort(key=_action_when)
+        env.schedule_macro(actions)
+        return [entry[0] for entry in entries]
 
     def post_write_batch(self, writes,
                          assume_stable: bool = False) -> list[WorkRequest]:

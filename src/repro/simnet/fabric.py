@@ -164,6 +164,37 @@ class Fabric:
             arrivals.append(max(down_end, up_end + wire_latency))
         return arrivals
 
+    def unicast_train_one(self, source: Node, destination: Node,
+                          size: int, delay: float) -> float:
+        """Single-message shape of :meth:`unicast_train` — identical
+        float arithmetic and tallies for a train of one (the common
+        shape on hash-routed shuffles), without the list machinery."""
+        cluster = self.cluster
+        if source.cluster is not cluster or destination.cluster is not cluster:
+            self._check_nodes(source, destination)
+        self.unicast_count += 1
+        self.unicast_trains += 1
+        if (self._shard_tag and source is not destination
+                and destination._shard != source._shard):
+            self.env.mailbox_crossings += 1
+        now = self.env.now
+        if source is destination:
+            arrival = (now + delay + self.profile.loopback_latency
+                       + size / self.profile.loopback_bandwidth)
+            last = self._loopback_last.get(source.node_id, 0.0)
+            if arrival < last:
+                arrival = last
+            self._loopback_last[source.node_id] = arrival
+            return arrival
+        uplink = source.uplink
+        wire_latency = self.profile.wire_latency
+        _up_start, up_end = uplink.reserve_train_one(size, now + delay)
+        send_start = up_end - uplink.serialization_time(size)
+        _down_start, down_end = destination.downlink.reserve(
+            size, send_start + wire_latency)
+        up_arrival = up_end + wire_latency
+        return down_end if down_end > up_arrival else up_arrival
+
     # -- multicast -----------------------------------------------------------
     def multicast(self, source: Node, members: list[Node], size: int,
                   delay: float = 0.0) -> dict[Node, Timeout | None]:

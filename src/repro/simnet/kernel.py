@@ -34,6 +34,12 @@ _PENDING = object()
 #: Upper bound on recycled Timeout objects kept by an Environment.
 _TIMEOUT_POOL_CAP = 256
 
+#: Upper bound on recycled MacroEvent records kept by an Environment.
+#: One record is live per in-flight fused segment train; steady-state
+#: flows recycle through a handful, so a small cap bounds idle memory
+#: while still absorbing bursts (many channels flushing in one instant).
+_MACRO_POOL_CAP = 64
+
 #: Calendar-queue geometry for timed events. Bucket width is
 #: ``1 << _CAL_SHIFT`` ns: 2048 ns keeps the sub-microsecond hot-path
 #: timers (NIC service intervals, CPU charges, wire latency) in the
@@ -140,6 +146,75 @@ class Timeout(Event):
         self._poolable = False
         self._value = value
         env._schedule(self, delay)
+
+
+class MacroEvent(Event):
+    """One reusable queue entry that walks a sorted train of
+    ``(when, fn, arg)`` actions — the macro-event record behind
+    steady-state event elision.
+
+    Semantically identical to :meth:`Environment.schedule_train` (every
+    action fires at its exact absolute timestamp, one live queue entry
+    per train, one ``_schedule_abs`` per hop — so even kernel sequence
+    numbers evolve identically), but the walker state lives in slots on
+    a pooled record instead of a per-train closure, and exhausted
+    records recycle through ``Environment._macro_pool`` so a
+    steady-state flow allocates nothing per flush.
+
+    ``terminal`` is the train's final timestamp; ``replay`` is an
+    optional closure invoked once with the action train after the last
+    action fires (observability collectors can reconstruct per-action
+    timestamps from it without the train having scheduled per-action
+    events).
+    """
+
+    __slots__ = ("actions", "index", "terminal", "replay", "_cb")
+
+    def __init__(self, env: "Environment") -> None:
+        super().__init__(env)
+        #: Sorted ``(when, fn, arg)`` train being walked (``None`` when
+        #: the record is idle in the pool).
+        self.actions: "list | None" = None
+        self.index = 0
+        self.terminal = 0.0
+        self.replay: "Callable | None" = None
+        # The permanent one-element callback list. step() reads and
+        # clears ``callbacks`` before invoking us; _fire restores this
+        # same list on every re-arm, so a whole train costs zero list
+        # allocations after the record exists.
+        self._cb: list = [self._fire]
+        self.callbacks = self._cb
+
+    def _fire(self, _event: Event) -> None:
+        env = self.env
+        actions = self.actions
+        index = self.index
+        total = len(actions)
+        now = env._now
+        while index < total:
+            action = actions[index]
+            if action[0] > now:
+                break
+            index += 1
+            action[1](action[2])
+        if index < total:
+            # Re-arm for the next hop: reset the processed/scheduled
+            # state step() just consumed and restore the permanent
+            # callback list.
+            self.index = index
+            self._processed = False
+            self._scheduled = False
+            self.callbacks = self._cb
+            env._schedule_abs(self, actions[index][0])
+            return
+        replay = self.replay
+        if replay is not None:
+            self.replay = None
+            replay(actions)
+        self.actions = None
+        pool = env._macro_pool
+        if len(pool) < _MACRO_POOL_CAP:
+            pool.append(self)
 
 
 class Initialize(Event):
@@ -525,7 +600,8 @@ class Environment:
     """
 
     __slots__ = ("_now", "_queue", "_immediate", "_sequence",
-                 "_active_process", "_timeout_pool", "_base", "_horizon",
+                 "_active_process", "_timeout_pool", "_macro_pool",
+                 "events_executed", "_base", "_horizon",
                  "_buckets", "_bucket_count", "_spill", "_spill_floor")
 
     #: Number of shard lanes. 1 for this single-queue kernel; the
@@ -545,6 +621,11 @@ class Environment:
         self._sequence = 0
         self._active_process: Process | None = None
         self._timeout_pool: list[Timeout] = []
+        self._macro_pool: list[MacroEvent] = []
+        #: Events executed by :meth:`step` (the sharded kernel keeps the
+        #: equivalent tally per lane in ``EventLane.drained``). Pure
+        #: read-time observability — never consulted by the simulation.
+        self.events_executed = 0
         #: Calendar state. ``_base`` is the current bucket number
         #: (``int(time) >> _CAL_SHIFT``); ``_horizon``/``_spill_floor``
         #: are its precomputed float time bounds so the scheduling fast
@@ -661,6 +742,39 @@ class Environment:
                 self._chain_timer(actions[index][0], fire)
 
         self._chain_timer(actions[0][0], fire)
+
+    def schedule_macro(self, actions, replay=None) -> None:
+        """Run a train of ``(when, fn, arg)`` actions through one pooled
+        :class:`MacroEvent` record — the steady-state twin of
+        :meth:`schedule_train`.
+
+        Timing-identical by construction: actions fire at the same
+        absolute timestamps, one queue entry is live at any moment, and
+        each hop costs exactly one ``_schedule_abs`` (so kernel sequence
+        numbers advance in lockstep with the closure-based train). The
+        differences are wall-clock only: no per-train closure, no
+        timeout-pool churn per hop, and the record itself recycles
+        through ``_macro_pool``. ``actions`` must be sorted by
+        non-decreasing ``when``.
+        """
+        if not actions:
+            return
+        pool = self._macro_pool
+        if pool:
+            macro = pool.pop()
+            macro._value = _PENDING
+            macro._exception = None
+            macro._defused = False
+            macro._scheduled = False
+            macro._processed = False
+            macro.callbacks = macro._cb
+        else:
+            macro = MacroEvent(self)
+        macro.actions = actions
+        macro.index = 0
+        macro.terminal = actions[-1][0]
+        macro.replay = replay
+        self._schedule_abs(macro, actions[0][0])
 
     def _chain_timer(self, when: float, fire) -> None:
         """Arm one pooled timer at absolute time ``when`` with ``fire`` as
@@ -820,6 +934,7 @@ class Environment:
         """Process the single next event on the queue."""
         when, _seq, event = self._pop_next()
         self._now = when
+        self.events_executed += 1
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True

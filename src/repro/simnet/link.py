@@ -124,6 +124,23 @@ class Link:
         self.trains_carried += 1
         return slots
 
+    def reserve_train_one(self, size: int, earliest: float
+                          ) -> tuple[float, float]:
+        """Single-message shape of :meth:`reserve_train` — identical
+        float arithmetic and counters (including the train tally) for a
+        train of one, without the list machinery."""
+        if size < 0:
+            raise SimulationError(f"negative message size: {size}")
+        busy = self._busy_until
+        start = busy if busy > earliest else earliest
+        end = start + size / self.bandwidth
+        self._busy_until = end
+        self._busy_time += end - start
+        self.bytes_carried += size
+        self.messages_carried += 1
+        self.trains_carried += 1
+        return start, end
+
     def reserve_priority(self, size: int, earliest: float) -> tuple[float, float]:
         """Schedule a tiny *control* message (footer/credit reads, atomics)
         that interleaves with queued bulk traffic instead of waiting behind

@@ -248,6 +248,7 @@ class ShardedEnvironment(Environment):
             while True:
                 if stop_event is not None and stop_event._processed:
                     lane.drained += drained
+                    self.events_executed += drained
                     self._drain_limit = None
                     return stop_event.value
                 when, _seq, event = lane.pop()
@@ -260,6 +261,7 @@ class ShardedEnvironment(Environment):
                     callback(event)
                 if event._exception is not None and not event._defused:
                     lane.drained += drained
+                    self.events_executed += drained
                     self._drain_limit = None
                     raise event._exception
                 if (type(event) is Timeout and event._poolable
@@ -281,6 +283,7 @@ class ShardedEnvironment(Environment):
                 if stop_time is not None and head[0] > stop_time:
                     break
             lane.drained += drained
+            self.events_executed += drained
         self._drain_limit = None
         if stop_event is not None:
             if stop_event._processed:
