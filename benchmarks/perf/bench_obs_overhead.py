@@ -1,10 +1,11 @@
 """Wall-clock overhead of the observability plane (``repro.obs``).
 
-Runs the same 64 B batched 1:8 bandwidth shuffle three times — metrics
-off, counters on, counters+tracing on — and reports the wall-clock
-overhead ratio of each enabled mode against the off run. The simulated
-elapsed ns must be bit-identical across all three modes (the
-``repro.obs`` determinism contract); the run asserts it.
+Runs the same 64 B batched 1:8 bandwidth shuffle four times — metrics
+off, counters on, counters+tracing on, counters+tracing+causal-edge
+recording on — and reports the wall-clock overhead ratio of each
+enabled mode against the off run. The simulated elapsed ns must be
+bit-identical across all four modes (the ``repro.obs`` determinism
+contract); the run asserts it.
 
 Run with::
 
@@ -53,7 +54,12 @@ REPS = int(os.environ.get("BENCH_OBS_REPS", 3))
 #: <=5% with counters on").
 COUNTERS_TARGET = 1.05
 
-MODES = ("off", "counters", "trace")
+#: Acceptance target for the full causal mode: counters + tracing +
+#: causal-edge recording within 10% of metrics-off (causal observability
+#: ISSUE — "all-in telemetry stays within 1.10x").
+CAUSAL_TARGET = 1.10
+
+MODES = ("off", "counters", "trace", "causal")
 
 
 def _run_shuffle(mode: str, total_bytes: int,
@@ -66,6 +72,8 @@ def _run_shuffle(mode: str, total_bytes: int,
         cluster.enable_observability()
     elif mode == "trace":
         cluster.enable_observability(trace=True)
+    elif mode == "causal":
+        cluster.enable_observability(trace=True, causal=True)
     dfi = DfiRuntime(cluster)
     schema = Schema(("key", "uint64"), ("pad", tuple_size - 8))
     dfi.init_shuffle_flow(
@@ -132,9 +140,13 @@ def _run_shuffle(mode: str, total_bytes: int,
         assert drained == count, (drained, count)
         entry["registry_tuples_pushed"] = pushed
         entry["registry_tuples_consumed"] = drained
-    if mode == "trace":
+    if mode in ("trace", "causal"):
         entry["trace_events"] = sum(
             tracer.emitted for tracer in cluster.obs.tracers.values())
+        if mode == "causal":
+            recorder = cluster.obs.causal
+            entry["causal_edges"] = sum(
+                log.next for log in recorder.logs.values())
         if trace_out:
             from repro.obs import export_chrome_trace
             export_chrome_trace(cluster, trace_out)
@@ -144,6 +156,7 @@ def _run_shuffle(mode: str, total_bytes: int,
 def run_all(total_bytes: int, trace_out: "str | None" = None) -> dict:
     results = {"bench": "obs_overhead", "total_bytes": total_bytes,
                "reps": REPS, "counters_target": COUNTERS_TARGET,
+               "causal_target": CAUSAL_TARGET,
                "scenarios": []}
     # Warm the interpreter on a small run of each mode before timing.
     warm = min(total_bytes, 256 << 10)
@@ -166,7 +179,7 @@ def run_all(total_bytes: int, trace_out: "str | None" = None) -> dict:
         for mode in MODES[rotation:] + MODES[:rotation]:
             rep = _run_shuffle(
                 mode, total_bytes,
-                trace_out if mode == "trace" and rep_index == 0 else None)
+                trace_out if mode == "causal" and rep_index == 0 else None)
             best = runs.get(mode)
             if best is None:
                 runs[mode] = rep
@@ -194,6 +207,10 @@ def run_all(total_bytes: int, trace_out: "str | None" = None) -> dict:
             ok = entry["overhead_vs_off"] <= COUNTERS_TARGET
             note = ("  [<=5% target met]" if ok
                     else f"  [ABOVE {COUNTERS_TARGET:.2f}x target]")
+        elif mode == "causal":
+            ok = entry["overhead_vs_off"] <= CAUSAL_TARGET
+            note = ("  [<=10% target met]" if ok
+                    else f"  [ABOVE {CAUSAL_TARGET:.2f}x target]")
         print(f"obs-overhead 64B batched 1:8 {mode:>8}: "
               f"{entry['tuples_per_sec']:12.0f} tuples/s wall, "
               f"{entry['overhead_vs_off']:5.3f}x vs off{note}")
@@ -222,6 +239,12 @@ def check_against(committed_path: str, fresh: dict) -> None:
     if counters is not None and counters["overhead_vs_off"] > COUNTERS_TARGET:
         print(f"counters-on overhead {counters['overhead_vs_off']:.3f}x "
               f"exceeds the {COUNTERS_TARGET:.2f}x target (informational; "
+              f"host speed varies across runners)")
+    causal = next((e for e in fresh["scenarios"]
+                   if e["mode"] == "causal"), None)
+    if causal is not None and causal["overhead_vs_off"] > CAUSAL_TARGET:
+        print(f"causal-on overhead {causal['overhead_vs_off']:.3f}x "
+              f"exceeds the {CAUSAL_TARGET:.2f}x target (informational; "
               f"host speed varies across runners)")
     print("--- end obs-overhead check ---")
 

@@ -32,10 +32,11 @@ events (the ``congestion=None`` default is stronger still — the plane is
 never even consulted).
 
 ``--with-obs`` runs the whole fingerprint three times — bare, with the
-observability plane (counters **and** tracing) enabled on every cluster,
-and with observability plus an empty ``FaultPlan`` — and fails (exit 1)
-on any difference: recording telemetry must never move simulated time
-(the ``repro.obs`` determinism contract, see docs/observability.md).
+observability plane (counters, tracing **and** causal-edge recording)
+enabled on every cluster, and with observability plus an empty
+``FaultPlan`` — and fails (exit 1) on any difference: recording
+telemetry must never move simulated time (the ``repro.obs`` determinism
+contract, see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -296,13 +297,13 @@ def check_congestion_neutral() -> int:
 
 
 def check_with_obs() -> int:
-    """Assert counters + tracing leave the fingerprint bit-identical,
-    alone and stacked on top of an (empty) fault plane."""
+    """Assert counters + tracing + causal recording leave the fingerprint
+    bit-identical, alone and stacked on top of an (empty) fault plane."""
     from repro import obs
     from repro.simnet import FaultPlan, faults
 
     bare = collect()
-    obs.set_default_observability(True, trace=True)
+    obs.set_default_observability(True, trace=True, causal=True)
     try:
         with_obs = collect()
         faults.set_default_plan(FaultPlan())
@@ -314,8 +315,9 @@ def check_with_obs() -> int:
         obs.set_default_observability(False)
 
     status = 0
-    for label, probe in (("counters+tracing", with_obs),
-                         ("counters+tracing+fault-plane", with_obs_faults)):
+    for label, probe in (("counters+tracing+causal", with_obs),
+                         ("counters+tracing+causal+fault-plane",
+                          with_obs_faults)):
         if _diff_metrics(f"OBS-NEUTRALITY VIOLATION ({label}) moved "
                          f"simulated metrics:",
                          bare, probe, "bare", f"with-{label}"):

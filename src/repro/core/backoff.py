@@ -24,3 +24,17 @@ def full_ring_backoff(rng: random.Random, attempt: int) -> float:
     """Delay (ns) to sleep before re-polling a full remote ring."""
     return (FULL_RING_BACKOFF_BASE * (1 << min(attempt, _MAX_EXPONENT))
             * (1.0 + rng.random()))
+
+
+def traced_backoff(rng: random.Random, attempt: int, causal,
+                   node_id: int, tid: str,
+                   flow: "str | None" = None) -> float:
+    """:func:`full_ring_backoff` plus a ``credit_stall`` causal edge for
+    the sleep when causal observability is on (``causal`` is the caller's
+    cached ``node.causal``, possibly ``None``). The RNG draw happens
+    exactly as in the untraced path — same stream, same order — so the
+    simulated timeline is unchanged by recording."""
+    delay = full_ring_backoff(rng, attempt)
+    if causal is not None:
+        causal.sleep_edge(delay, "credit_stall", node_id, tid, flow)
+    return delay

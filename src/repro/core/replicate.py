@@ -248,6 +248,9 @@ class NaiveReplicateSource:
         self._metrics, self._tracer = endpoint_obs(
             self.node, descriptor.name, descriptor.options)
         self._tid = f"src{source_index}"
+        self._causal = self.node.causal
+        if self._causal is not None:
+            self._causal.open(descriptor.name, self.node.node_id)
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str, source_index: int):
@@ -349,6 +352,8 @@ class NaiveReplicateSource:
         if self._tracer is not None:
             self._tracer.emit(self.node.env.now, FLOW_CLOSE,
                               self.node.node_id, self._tid, None)
+        if self._causal is not None:
+            self._causal.close(self.descriptor.name, self.node.node_id)
         failures = []
         for index, wr in work_requests:
             try:
@@ -375,6 +380,8 @@ class NaiveReplicateSource:
             self._tracer.emit(self.node.env.now, FLOW_CLOSE,
                               self.node.node_id, self._tid,
                               {"aborted": True})
+        if self._causal is not None:
+            self._causal.close(self.descriptor.name, self.node.node_id)
         for _index, wr in work_requests:
             try:
                 if not wr.done.triggered:
@@ -616,6 +623,9 @@ class MulticastReplicateSource:
         self._metrics, self._tracer = endpoint_obs(
             self.node, descriptor.name, descriptor.options)
         self._tid = f"src{source_index}"
+        self._causal = self.node.causal
+        if self._causal is not None:
+            self._causal.open(descriptor.name, self.node.node_id)
 
     def _note_retransmit(self, seq: "int | None") -> None:
         """Count one multicast retransmission (local tally + registry)."""
@@ -716,11 +726,16 @@ class MulticastReplicateSource:
             if self.segments_sent - self._min_credit() < self._window:
                 self._waiter.disarm()
                 return
+            wait_from = self.env.now
             yield self.env.any_of([
                 event,
                 self.env.timeout(self.descriptor.options.retransmit_timeout),
             ])
             self._waiter.disarm()
+            if self._causal is not None:
+                self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                  self.node.node_id, self._tid,
+                                  self.descriptor.name)
             credit = self._min_credit()
             if credit > floor:
                 floor = credit
@@ -842,6 +857,8 @@ class MulticastReplicateSource:
             if self._tracer is not None:
                 self._tracer.emit(self.env.now, FLOW_CLOSE,
                                   self.node.node_id, self._tid, None)
+            if self._causal is not None:
+                self._causal.close(self.descriptor.name, self.node.node_id)
             return
         total = self.segments_sent
         limit = self.descriptor.options.max_retransmits
@@ -855,11 +872,16 @@ class MulticastReplicateSource:
             if self._min_credit() >= total:
                 self._waiter.disarm()
                 break
+            wait_from = self.env.now
             yield self.env.any_of([
                 event,
                 self.env.timeout(self.descriptor.options.retransmit_timeout),
             ])
             self._waiter.disarm()
+            if self._causal is not None:
+                self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                  self.node.node_id, self._tid,
+                                  self.descriptor.name)
             credit = self._min_credit()
             if credit > floor:
                 floor = credit
@@ -885,6 +907,8 @@ class MulticastReplicateSource:
         if self._tracer is not None:
             self._tracer.emit(self.env.now, FLOW_CLOSE,
                               self.node.node_id, self._tid, None)
+        if self._causal is not None:
+            self._causal.close(self.descriptor.name, self.node.node_id)
 
     def abort(self):
         """Generator: abort the flow — the marker is re-multicast a few
@@ -906,6 +930,8 @@ class MulticastReplicateSource:
         if self._tracer is not None:
             self._tracer.emit(self.env.now, FLOW_CLOSE, self.node.node_id,
                               self._tid, {"aborted": True})
+        if self._causal is not None:
+            self._causal.close(self.descriptor.name, self.node.node_id)
 
     def _flush(self, extra_flags: int):
         debt = self._cpu_debt + self.profile.cpu_post_cost
@@ -984,6 +1010,10 @@ class MulticastReplicateTarget:
         self._metrics, self._tracer = endpoint_obs(
             self.node, descriptor.name, descriptor.options)
         self._tid = f"tgt{target_index}"
+        self._causal = self.node.causal
+        self._close_recorded = False
+        if self._causal is not None:
+            self._causal.open(descriptor.name, self.node.node_id)
 
     @classmethod
     def open(cls, registry: FlowRegistry, name: str, target_index: int):
@@ -1180,6 +1210,10 @@ class MulticastReplicateTarget:
                 return pending
             if self._finished():
                 self._waiter.disarm()
+                if self._causal is not None and not self._close_recorded:
+                    self._close_recorded = True
+                    self._causal.close(self.descriptor.name,
+                                       self.node.node_id)
                 return FLOW_END
             if deadline is not None:
                 if self._progress_mark() != before:

@@ -34,7 +34,7 @@ from repro.common.errors import (
     QpFlushedError,
 )
 from repro.common import config as _config
-from repro.core.backoff import full_ring_backoff
+from repro.core.backoff import traced_backoff
 from repro.core.flowdef import (
     FLOW_END,
     FlowDescriptor,
@@ -216,6 +216,10 @@ class BandwidthSourceChannel:
         self._pending_segments = (plane.pending_segments
                                   if plane is not None else None)
         self._tid = f"s{channel_tag[1]}->t{channel_tag[2]}"
+        self._flow = channel_tag[0]
+        self._causal = node.causal
+        if self._causal is not None:
+            self._causal.open(self._flow, node.node_id)
         # Steady-state event elision (DESIGN.md, "Steady-state event
         # elision"): route this channel's doorbell trains through the
         # fused macro-event path when nothing can observe the machinery
@@ -439,6 +443,8 @@ class BandwidthSourceChannel:
         if self._tracer is not None:
             self._tracer.emit(self.env.now, FLOW_CLOSE,
                               self.node.node_id, self._tid, None)
+        if self._causal is not None:
+            self._causal.close(self._flow, self.node.node_id)
         return wr
 
     def abort(self):
@@ -452,6 +458,8 @@ class BandwidthSourceChannel:
         if self._tracer is not None:
             self._tracer.emit(self.env.now, FLOW_CLOSE, self.node.node_id,
                               self._tid, {"aborted": True})
+        if self._causal is not None:
+            self._causal.close(self._flow, self.node.node_id)
         if not wr.done.triggered:
             yield wr.done
 
@@ -599,7 +607,12 @@ class BandwidthSourceChannel:
             if wr.done.triggered:
                 data = wr.done.value
             else:
+                wait_from = self.env.now
                 data = yield wr.done
+                if self._causal is not None:
+                    self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                      self.node.node_id, self._tid,
+                                      self._flow)
             if not footer_consumable(data):
                 self._window_left = window
                 return
@@ -616,7 +629,9 @@ class BandwidthSourceChannel:
                 if tracer is not None:
                     tracer.emit(self.env.now, BACKOFF, self.node.node_id,
                                 self._tid, {"attempt": attempt})
-            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            yield self.env.timeout(traced_backoff(
+                self._rng, attempt, self._causal, self.node.node_id,
+                self._tid, self._flow))
             attempt += 1
             window = self._train_window
             wr = self._read_footer_ahead(window)
@@ -773,7 +788,12 @@ class BandwidthSourceChannel:
             if wr.done.triggered:
                 data = wr.done.value
             else:
+                wait_from = self.env.now
                 data = yield wr.done
+                if self._causal is not None:
+                    self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                      self.node.node_id, self._tid,
+                                      self._flow)
             if not footer_consumable(data):
                 return
             # Remote ring full: back off (exponential + jitter), then
@@ -791,7 +811,9 @@ class BandwidthSourceChannel:
                 if tracer is not None:
                     tracer.emit(self.env.now, BACKOFF, self.node.node_id,
                                 self._tid, {"attempt": attempt})
-            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            yield self.env.timeout(traced_backoff(
+                self._rng, attempt, self._causal, self.node.node_id,
+                self._tid, self._flow))
             attempt += 1
             wr = self._read_current_remote_footer()
 
@@ -845,6 +867,10 @@ class LatencySourceChannel:
         self._pending_segments = (plane.pending_segments
                                   if plane is not None else None)
         self._tid = f"s{channel_tag[1]}->t{channel_tag[2]}"
+        self._flow = channel_tag[0]
+        self._causal = node.causal
+        if self._causal is not None:
+            self._causal.open(self._flow, node.node_id)
 
     def _collect_obs(self):
         """Read-time counter harvest (see MetricsRegistry.add_collector)."""
@@ -929,6 +955,8 @@ class LatencySourceChannel:
         if self._tracer is not None:
             self._tracer.emit(self.env.now, FLOW_CLOSE,
                               self.node.node_id, self._tid, None)
+        if self._causal is not None:
+            self._causal.close(self._flow, self.node.node_id)
         return wr
 
     def abort(self):
@@ -945,6 +973,8 @@ class LatencySourceChannel:
         if self._tracer is not None:
             self._tracer.emit(self.env.now, FLOW_CLOSE, self.node.node_id,
                               self._tid, {"aborted": True})
+        if self._causal is not None:
+            self._causal.close(self._flow, self.node.node_id)
         if not wr.done.triggered:
             yield wr.done
 
@@ -1019,7 +1049,11 @@ class LatencySourceChannel:
                 metrics.inc("core.credit_stalls")
             if self._pending_credit_read is None:
                 self._refresh_credit_async()
+            wait_from = self.env.now
             data = yield self._pending_credit_read.done
+            if self._causal is not None and self.env.now > wait_from:
+                self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                  self.node.node_id, self._tid, self._flow)
             self._pending_credit_read = None
             self._apply_credit(data)
             if metrics is not None:
@@ -1045,8 +1079,9 @@ class LatencySourceChannel:
                         tracer.emit(self.env.now, BACKOFF,
                                     self.node.node_id, self._tid,
                                     {"attempt": attempt})
-                yield self.env.timeout(
-                    full_ring_backoff(self._rng, attempt))
+                yield self.env.timeout(traced_backoff(
+                    self._rng, attempt, self._causal, self.node.node_id,
+                    self._tid, self._flow))
                 attempt += 1
 
     def _apply_credit(self, data: bytes) -> None:
@@ -1092,6 +1127,10 @@ class TargetChannel:
         self._seg_latency_hist = None
         self._drain_hist = None
         self._tid = f"t<-s{credit_offset // 8}"
+        self._flow = descriptor.name
+        self._causal = node.causal
+        if self._causal is not None:
+            self._causal.open(self._flow, node.node_id)
 
     def _collect_obs(self):
         """Read-time counter harvest (see MetricsRegistry.add_collector)."""
@@ -1116,6 +1155,12 @@ class TargetChannel:
                 hist = self._seg_latency_hist = metrics.histogram(
                     "core.seg_latency")
             hist.record(now - stamp)
+            if self._causal is not None:
+                # Segment-span context edge: write stamp -> consume time.
+                # Non-walkable ("seg" is not in WALK_CATEGORIES) — it feeds
+                # the straggler ranking, not the blame decomposition.
+                self._causal.edge(now, stamp, "seg", self.node.node_id,
+                                  self._tid, self._flow)
         tracer = self._tracer
         if tracer is not None:
             tracer.emit(now, SEG_CONSUME, self.node.node_id, self._tid,
@@ -1142,6 +1187,8 @@ class TargetChannel:
             tuples = []
         if footer.closed:
             self.done = True
+            if self._causal is not None:
+                self._causal.close(self._flow, self.node.node_id)
         if footer.aborted:
             self.aborted = True
             tuples = []  # abort voids any delivery guarantee
@@ -1199,6 +1246,8 @@ class TargetChannel:
                     used = 0  # abort voids its own segment's delivery
                 if flags & FLAG_CLOSED:
                     self.done = True
+                    if self._causal is not None:
+                        self._causal.close(self._flow, self.node.node_id)
             if used:
                 tuples = unpack_rows(payload_view(index, used))
                 extend(tuples)
@@ -1270,6 +1319,8 @@ class TargetChannel:
                     used = 0
                 if flags & FLAG_CLOSED:
                     self.done = True
+                    if self._causal is not None:
+                        self._causal.close(self._flow, self.node.node_id)
             if used:
                 # Whole-row contract checked at the segment layer: the
                 # chunks feed columnar fold/unpack kernels downstream.

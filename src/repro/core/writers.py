@@ -16,7 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.common import config as _config
 from repro.common.errors import FlowTimeoutError
-from repro.core.backoff import full_ring_backoff
+from repro.core.backoff import traced_backoff
 from repro.core.registry import RingHandle
 from repro.core.segment import (
     FOOTER_SIZE,
@@ -76,6 +76,12 @@ class FooterRingWriter:
         #: Observability registry of the owning node (``None`` when the
         #: plane is off — one attribute check per guarded site).
         self._metrics = node.metrics
+        self._causal = node.causal
+        self._flow = tag[0]
+        # Replicate passes (flow, source_index, target_index); tests may
+        # construct writers with a bare (flow,) tag.
+        self._tid = (f"r{tag[1]}->t{tag[2]}" if len(tag) >= 3
+                     else f"r{tag[0]}")
         # Steady-state event elision (see BandwidthSourceChannel): fuse
         # doorbell trains into macro-events when telemetry is off and
         # both ends share a shard lane; fault/congestion planes are
@@ -226,7 +232,15 @@ class FooterRingWriter:
             wr = self._read_footer_ahead(window)
         attempt = 0
         while True:
-            data = wr.done.value if wr.done.triggered else (yield wr.done)
+            if wr.done.triggered:
+                data = wr.done.value
+            else:
+                wait_from = self.env.now
+                data = yield wr.done
+                if self._causal is not None:
+                    self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                      self.node.node_id, self._tid,
+                                      self._flow)
             if not footer_consumable(data):
                 self._window_left = window
                 return
@@ -239,7 +253,9 @@ class FooterRingWriter:
                     f"full after {attempt} backoff rounds")
             if metrics is not None:
                 metrics.inc("core.backoff_rounds")
-            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            yield self.env.timeout(traced_backoff(
+                self._rng, attempt, self._causal, self.node.node_id,
+                self._tid, self._flow))
             attempt += 1
             window = self._train_window
             wr = self._read_footer_ahead(window)
@@ -262,7 +278,15 @@ class FooterRingWriter:
             wr = self._read_footer()
         attempt = 0
         while True:
-            data = wr.done.value if wr.done.triggered else (yield wr.done)
+            if wr.done.triggered:
+                data = wr.done.value
+            else:
+                wait_from = self.env.now
+                data = yield wr.done
+                if self._causal is not None:
+                    self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                      self.node.node_id, self._tid,
+                                      self._flow)
             if not footer_consumable(data):
                 return
             if (self._max_retries is not None
@@ -274,7 +298,9 @@ class FooterRingWriter:
                     f"full after {attempt} backoff rounds")
             if metrics is not None:
                 metrics.inc("core.backoff_rounds")
-            yield self.env.timeout(full_ring_backoff(self._rng, attempt))
+            yield self.env.timeout(traced_backoff(
+                self._rng, attempt, self._causal, self.node.node_id,
+                self._tid, self._flow))
             attempt += 1
             wr = self._read_footer()
 
@@ -308,6 +334,12 @@ class CreditRingWriter:
         self._pending_read = None
         self.segments_written = 0
         self._metrics = node.metrics
+        self._causal = node.causal
+        self._flow = tag[0]
+        # Replicate passes (flow, source_index, target_index); tests may
+        # construct writers with a bare (flow,) tag.
+        self._tid = (f"r{tag[1]}->t{tag[2]}" if len(tag) >= 3
+                     else f"r{tag[0]}")
         self._credit_read_issued = 0.0
 
     @property
@@ -362,7 +394,11 @@ class CreditRingWriter:
                 metrics.inc("core.credit_stalls")
             if self._pending_read is None:
                 self._refresh_async()
+            wait_from = self.env.now
             data = yield self._pending_read.done
+            if self._causal is not None and self.env.now > wait_from:
+                self._causal.edge(self.env.now, wait_from, "credit_stall",
+                                  self.node.node_id, self._tid, self._flow)
             self._pending_read = None
             self._apply(data)
             if metrics is not None:
@@ -378,8 +414,9 @@ class CreditRingWriter:
                         f"after {attempt} backoff rounds")
                 if metrics is not None:
                     metrics.inc("core.backoff_rounds")
-                yield self.env.timeout(
-                    full_ring_backoff(self._rng, attempt))
+                yield self.env.timeout(traced_backoff(
+                    self._rng, attempt, self._causal, self.node.node_id,
+                    self._tid, self._flow))
                 attempt += 1
 
     def _apply(self, data: bytes) -> None:

@@ -24,6 +24,17 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.causal import (
+    BLAME_CATEGORIES,
+    DEFAULT_EDGE_CAPACITY,
+    CausalError,
+    CausalRecorder,
+    analyze_cluster,
+    blame_json,
+    critical_path,
+    flow_report,
+    render_blame,
+)
 from repro.obs.metrics import Histogram, MetricsRegistry, render_report
 from repro.obs.trace import (
     BACKOFF,
@@ -54,15 +65,19 @@ class ObsPlane:
     trace rings, and the in-flight segment-latency stamp table."""
 
     __slots__ = ("cluster", "registries", "tracers", "trace_all",
-                 "trace_capacity", "pending_segments")
+                 "trace_capacity", "pending_segments", "causal")
 
     def __init__(self, cluster: "Cluster", trace: bool = False,
-                 trace_capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+                 trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+                 causal: bool = False) -> None:
         self.cluster = cluster
         #: Trace every flow, regardless of its ``FlowOptions.trace`` knob
         #: (harness mode — what ``fingerprint.py --with-obs`` uses).
         self.trace_all = bool(trace)
         self.trace_capacity = trace_capacity
+        #: Causal-edge recorder (``None`` unless ``causal=True``) — hot
+        #: paths cache it like ``node.metrics``; see ``repro.obs.causal``.
+        self.causal = CausalRecorder(cluster.env) if causal else None
         self.registries: dict[int, MetricsRegistry] = {}
         self.tracers: dict[str, FlowTracer] = {}
         #: Segment write->consume latency stamps, keyed by
@@ -121,18 +136,22 @@ def endpoint_obs(node, flow: str, options) -> tuple:
 #: zero timeline drift even for clusters built deep inside bench helpers.
 _default_enabled = False
 _default_trace = False
+_default_causal = False
 
-def set_default_observability(enabled: bool, trace: bool = False) -> None:
+def set_default_observability(enabled: bool, trace: bool = False,
+                              causal: bool = False) -> None:
     """Enable (or clear) observability on every cluster created from now
     on. Intended for harnesses, not applications."""
-    global _default_enabled, _default_trace
+    global _default_enabled, _default_trace, _default_causal
     _default_enabled = bool(enabled)
     _default_trace = bool(trace)
+    _default_causal = bool(causal)
 
 
 def _install_default(cluster: "Cluster") -> None:
     if _default_enabled:
-        cluster.enable_observability(trace=_default_trace)
+        cluster.enable_observability(trace=_default_trace,
+                                     causal=_default_causal)
 
 
 __all__ = [
@@ -140,6 +159,15 @@ __all__ = [
     "MetricsRegistry",
     "Histogram",
     "FlowTracer",
+    "CausalRecorder",
+    "CausalError",
+    "analyze_cluster",
+    "blame_json",
+    "critical_path",
+    "flow_report",
+    "render_blame",
+    "BLAME_CATEGORIES",
+    "DEFAULT_EDGE_CAPACITY",
     "render_report",
     "chrome_trace",
     "export_chrome_trace",

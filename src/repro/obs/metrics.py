@@ -66,15 +66,46 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, p: float) -> int:
+        """Deterministic percentile estimate from the power-of-two
+        buckets, **upper-bound convention**: the estimate is the largest
+        value of the smallest bucket whose cumulative count reaches
+        ``ceil(p * count)`` — i.e. ``2**bucket - 1`` (bucket 0 -> 0),
+        clamped to the observed ``max``. The true percentile is never
+        above the estimate. Pure integer arithmetic on the bucket
+        counts, so same-seed runs report bit-identical percentiles."""
+        if not self.count:
+            return 0
+        if p <= 0.0:
+            return self.min or 0
+        need = -((-int(p * self.count * 1000000)) // 1000000)  # ceil
+        if need > self.count:
+            need = self.count
+        cumulative = 0
+        for bucket in sorted(self.buckets):
+            cumulative += self.buckets[bucket]
+            if cumulative >= need:
+                upper = (1 << bucket) - 1 if bucket else 0
+                return min(upper, self.max)
+        return self.max or 0
+
+    def percentiles(self) -> dict:
+        """The p50/p90/p99 trio shown in reports."""
+        return {"p50": self.percentile(0.50),
+                "p90": self.percentile(0.90),
+                "p99": self.percentile(0.99)}
+
     def snapshot(self) -> dict:
         """JSON-friendly dict view (buckets keyed by bit length)."""
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
             "buckets": dict(sorted(self.buckets.items())),
         }
+        snap.update(self.percentiles())
+        return snap
 
     def __repr__(self) -> str:
         return (f"<Histogram n={self.count} mean={self.mean:.1f} "
@@ -170,9 +201,11 @@ class MetricsRegistry:
         for name, value in sorted(self._merged_counters().items()):
             lines.append(f"  {name:<40} {value:>14}")
         for name, hist in sorted(self.histograms.items()):
+            pct = hist.percentiles()
             lines.append(
                 f"  {name:<40} {hist.count:>14}  "
-                f"mean={hist.mean:.0f} min={hist.min} max={hist.max}")
+                f"mean={hist.mean:.0f} min={hist.min} max={hist.max} "
+                f"p50<={pct['p50']} p90<={pct['p90']} p99<={pct['p99']}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -200,9 +233,12 @@ def render_report(snapshot: dict) -> str:
         for name, hist in sorted(entry.get("histograms", {}).items()):
             count, total = hist["count"], hist["sum"]
             mean = total / count if count else 0.0
-            lines.append(
-                f"  {name:<40} {count:>14}  mean={mean:.0f} "
-                f"min={hist['min']} max={hist['max']}")
+            line = (f"  {name:<40} {count:>14}  mean={mean:.0f} "
+                    f"min={hist['min']} max={hist['max']}")
+            if "p50" in hist:
+                line += (f" p50<={hist['p50']} p90<={hist['p90']} "
+                         f"p99<={hist['p99']}")
+            lines.append(line)
     nics = snapshot.get("nics", {})
     if nics:
         lines.append("nics")
@@ -212,7 +248,8 @@ def render_report(snapshot: dict) -> str:
                 f"  node{node_id}: wqes={stats['wqes_processed']} "
                 f"bytes_posted={stats['bytes_posted']} "
                 f"doorbell_trains={stats['doorbell_trains']} "
-                f"rx_dropped={stats['rx_dropped_no_recv']}")
+                f"rx_dropped={stats['rx_dropped_no_recv']} "
+                f"engine_wait={stats.get('engine_wait_ns', 0)}ns")
     links = snapshot.get("links", {})
     if links:
         lines.append("links")
@@ -221,7 +258,8 @@ def render_report(snapshot: dict) -> str:
             lines.append(
                 f"  {name}: bytes={stats['bytes_carried']} "
                 f"messages={stats['messages_carried']} "
-                f"trains={stats['trains_carried']}")
+                f"trains={stats['trains_carried']} "
+                f"hol_wait={stats.get('hol_wait_ns', 0)}ns")
     fabric = snapshot.get("fabric")
     if fabric:
         lines.append("fabric")
@@ -231,4 +269,23 @@ def render_report(snapshot: dict) -> str:
             f"multicast={fabric['multicast_count']} "
             f"multicast_drops={fabric['multicast_drops']} "
             f"fault_drops={fabric['fault_drops']}")
+    rings = snapshot.get("trace_rings", {})
+    if rings:
+        lines.append("trace rings")
+        for flow in sorted(rings):
+            stats = rings[flow]
+            line = (f"  {flow}: kept={stats['kept']} "
+                    f"dropped={stats['dropped']} "
+                    f"capacity={stats['capacity']}")
+            if stats["dropped"]:
+                line += "  (TRUNCATED: oldest events overwritten)"
+            lines.append(line)
+    causal = snapshot.get("causal")
+    if causal:
+        lines.append("causal edge logs")
+        lines.append(f"  edges={causal['edges']} flows_closed="
+                     f"{causal['flows_closed']}")
+        for node, dropped in sorted(causal.get("dropped", {}).items()):
+            lines.append(f"  node{node}: dropped={dropped} "
+                         f"(TRUNCATED edge log)")
     return "\n".join(lines)

@@ -135,14 +135,54 @@ def _fault_plan_events(cluster) -> list[dict]:
     return events
 
 
+def _flow_arrow_events(plane) -> list[dict]:
+    """Perfetto flow arrows (``ph:"s"/"f"``) binding cause -> effect
+    across pids: one arrow per cross-node step of each closed flow's
+    critical path. Pure post-processing of the causal export."""
+    recorder = plane.causal
+    if recorder is None or not recorder.closes:
+        return []
+    from repro.obs.causal import critical_path
+    events: list[dict] = []
+    arrow_id = 0
+    all_edges = recorder.edges()
+    for flow in sorted(recorder.closes):
+        t_close = max(t for t, _node in recorder.closes[flow])
+        t_open = recorder.opens.get(flow, 0.0)
+        edges = [edge for edge in all_edges
+                 if edge[6] is None or edge[6] == flow]
+        for step in critical_path(edges, t_close, t_open):
+            if step["src_node"] == step["node"]:
+                continue
+            arrow_id += 1
+            common = {"name": "critical_path", "cat": flow,
+                      "id": arrow_id, "tid": step["tid"]}
+            events.append({**common, "ph": "s",
+                           "ts": step["start"] / 1000.0,
+                           "pid": step["src_node"]})
+            events.append({**common, "ph": "f", "bp": "e",
+                           "ts": step["end"] / 1000.0,
+                           "pid": step["node"]})
+    return events
+
+
 def chrome_trace(cluster) -> dict:
     """Build the Chrome ``trace_event`` document for a cluster's traced
     flows (plus synthesized fault-injection events). Returns the JSON
-    object; use :func:`export_chrome_trace` to write it to disk."""
+    object; use :func:`export_chrome_trace` to write it to disk.
+
+    Beyond ``traceEvents`` the document carries two repro-specific
+    top-level keys (Perfetto ignores unknown keys): ``"reproObs"`` with
+    per-ring kept/dropped stats and ``"reproCausal"`` with the causal
+    edge export when ``enable_observability(causal=True)`` was on —
+    which is what lets ``python -m repro.obs.analyze`` work offline from
+    the trace file alone. Cross-node critical-path steps additionally
+    become ``ph:"s"/"f"`` flow arrows."""
     trace_events: list[dict] = []
     plane = getattr(cluster, "obs", None)
     tracers = plane.tracers.values() if plane is not None else ()
     named_pids = set()
+    ring_stats: dict[str, dict] = {}
     for tracer in tracers:
         for ts, kind, node_id, tid, detail in tracer.events():
             event = {
@@ -153,17 +193,32 @@ def chrome_trace(cluster) -> dict:
                 event["args"] = detail
             trace_events.append(event)
             named_pids.add(node_id)
+        ring_stats[tracer.flow] = {
+            "kept": len(tracer), "dropped": tracer.dropped,
+            "emitted": tracer.emitted, "capacity": tracer.capacity,
+        }
     fault_events = _fault_plan_events(cluster)
     for event in fault_events:
         named_pids.add(event["pid"])
     trace_events.extend(fault_events)
+    if plane is not None:
+        trace_events.extend(_flow_arrow_events(plane))
     metadata = [
         {"name": "process_name", "ph": "M", "pid": pid, "tid": "meta",
          "args": {"name": f"node{pid}"}}
         for pid in sorted(named_pids)
     ]
-    return {"traceEvents": metadata + trace_events,
-            "displayTimeUnit": "ns"}
+    metadata.extend(
+        {"name": "trace_ring", "ph": "M", "pid": 0, "tid": flow,
+         "args": dict(stats, flow=flow)}
+        for flow, stats in sorted(ring_stats.items())
+    )
+    document = {"traceEvents": metadata + trace_events,
+                "displayTimeUnit": "ns",
+                "reproObs": {"rings": ring_stats}}
+    if plane is not None and plane.causal is not None:
+        document["reproCausal"] = plane.causal.export()
+    return document
 
 
 def export_chrome_trace(cluster, path: str) -> dict:

@@ -42,6 +42,15 @@ class RNic:
         self.rx_dropped_no_recv = 0
         #: Doorbell trains admitted through :meth:`engine_delay_train`.
         self.doorbell_trains = 0
+        #: Accumulated WQE arbitration wait: time work requests spent
+        #: queued behind earlier WQEs before entering the pipeline.
+        self._engine_wait = 0.0
+
+    @property
+    def engine_wait_ns(self) -> int:
+        """Integer-ns total pipeline arbitration wait (always-on tally,
+        truncated at the read like ``Link.busy_until_ns``)."""
+        return int(self._engine_wait)
 
     # -- memory ----------------------------------------------------------
     def register_memory(self, size: int) -> MemoryRegion:
@@ -120,6 +129,7 @@ class RNic:
         start = max(now, self._engine_busy_until)
         self._engine_busy_until = start + self.profile.nic_wqe_service
         self.wqes_processed += 1
+        self._engine_wait += start - now
         return (start - now) + latency
 
     def engine_delay_train(self, inlines) -> list[float]:
@@ -135,15 +145,18 @@ class RNic:
         service = self.profile.nic_wqe_service
         profile = self.profile
         offsets = []
+        wait = 0.0
         for inline in inlines:
             latency = (profile.nic_processing_inline if inline
                        else profile.nic_processing)
             start = busy if busy > now else now
             busy = start + service
+            wait += start - now
             offsets.append((start - now) + latency)
         self._engine_busy_until = busy
         self.wqes_processed += len(offsets)
         self.doorbell_trains += 1
+        self._engine_wait += wait
         return offsets
 
     def engine_delay_train_one(self, inline: bool) -> float:
@@ -157,6 +170,7 @@ class RNic:
         self._engine_busy_until = start + self.profile.nic_wqe_service
         self.wqes_processed += 1
         self.doorbell_trains += 1
+        self._engine_wait += start - now
         return (start - now) + (self.profile.nic_processing_inline
                                 if inline else self.profile.nic_processing)
 

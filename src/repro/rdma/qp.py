@@ -86,7 +86,7 @@ class QueuePair:
 
     __slots__ = ("nic", "env", "qpn", "node", "remote_node", "send_cq",
                  "recv_cq", "_peer", "_recv_queue", "_pending_rx",
-                 "_staged", "_metrics", "_obs_wqes_posted",
+                 "_staged", "_metrics", "_causal", "_obs_wqes_posted",
                  "_obs_wqes_signaled", "_obs_trains", "_obs_train_hist",
                  "_ack_delta", "_inline_max", "_remote_nic")
 
@@ -121,6 +121,11 @@ class QueuePair:
         #: tallies below are plain attribute adds on the hot path; the
         #: registry harvests them at read time via the collector.
         self._metrics = nic.node.metrics
+        #: Cached causal recorder (``None`` unless
+        #: ``enable_observability(causal=True)`` ran first) — same
+        #: hot-path contract as ``_metrics``. Edge recording reads
+        #: ``env.now``-derived floats only: zero kernel events, zero RNG.
+        self._causal = nic.node.causal
         self._obs_wqes_posted = 0
         self._obs_wqes_signaled = 0
         self._obs_trains = 0
@@ -180,6 +185,9 @@ class QueuePair:
             metrics.inc("rdma.wqe_flushes")
             if status is WcStatus.RETRY_EXC_ERR:
                 metrics.inc("rdma.retry_exc_err")
+        if self._causal is not None:
+            self._causal.sleep_edge(delay, "fault_backoff",
+                                    self.node.node_id, f"qp{self.qpn}")
         timer = self.env.pooled_timeout(delay)
 
         def on_timeout(_event, wr=wr, status=status):
@@ -323,6 +331,23 @@ class QueuePair:
                                          delay=offset_delay)
         if congestion is not None:
             congestion.rc_sent(self, size, arrival.delay)
+        causal = self._causal
+        if causal is not None:
+            # Per-WQE chain: post -> [admission edges recorded by the
+            # fault/congestion planes] -> nic_arb -> wire -> ack. The
+            # admission planes anchor their edges on [now, now+fault_delay]
+            # themselves, so the NIC edge starts where admission ended.
+            now = self.env.now
+            tid = f"qp{self.qpn}"
+            causal.edge(now + offset_delay, now + fault_delay, "nic_arb",
+                        self.node.node_id, tid)
+            arrival_at = now + arrival.delay
+            causal.edge(arrival_at, now + offset_delay, "wire",
+                        self.remote_node.node_id, tid,
+                        src_node_id=self.node.node_id)
+            causal.edge(arrival_at + self._ack_delta, arrival_at, "wire",
+                        self.node.node_id, tid,
+                        src_node_id=self.remote_node.node_id)
         tail_len = min(size, _ORDERED_TAIL)
         split = size - tail_len
         prefix_pieces = []
@@ -628,6 +653,17 @@ class QueuePair:
             arrival = self._fabric().unicast_train(
                 self.node, self.remote_node, [size], delays)[0]
             ack_at = arrival + ack_latency
+            causal = self._causal
+            if causal is not None:
+                now = self.env.now
+                tid = f"qp{self.qpn}"
+                causal.edge(now + delays[0], now, "nic_arb",
+                            self.node.node_id, tid)
+                causal.edge(arrival, now + delays[0], "wire",
+                            self.remote_node.node_id, tid,
+                            src_node_id=self.node.node_id)
+                causal.edge(ack_at, arrival, "wire", self.node.node_id,
+                            tid, src_node_id=self.remote_node.node_id)
             commit = (arrival, _commit_write, (region, offset, pieces))
             if wr.signaled:
                 self.env.schedule_train(
@@ -655,12 +691,29 @@ class QueuePair:
         finish_signaled = self._finish_signaled
         last = len(entries) - 1
         needs_sort = False
+        causal = self._causal
+        if causal is not None:
+            train_now = self.env.now
+            train_tid = f"qp{self.qpn}"
         for position, ((wr, size, pieces, rkey, offset), region,
                        arrival) in enumerate(zip(entries, regions,
                                                  arrivals)):
             actions.append((arrival, _commit_write,
                             (region, offset, pieces)))
             ack_at = arrival + ack_latency
+            if causal is not None:
+                # Chain the train's NIC arbitration: each WQE's engine
+                # slot follows the previous WQE's wire handoff.
+                arb_parent = (train_now if position == 0
+                              else train_now + delays[position - 1])
+                causal.edge(train_now + delays[position], arb_parent,
+                            "nic_arb", self.node.node_id, train_tid)
+                causal.edge(arrival, train_now + delays[position], "wire",
+                            self.remote_node.node_id, train_tid,
+                            src_node_id=self.node.node_id)
+                causal.edge(ack_at, arrival, "wire", self.node.node_id,
+                            train_tid,
+                            src_node_id=self.remote_node.node_id)
             if wr.signaled:
                 actions.append((ack_at, finish_signaled, (wr, size)))
                 # A mid-train ack interleaves with later arrivals; a
@@ -731,6 +784,19 @@ class QueuePair:
                                      delay=offset_delay + admit)
             if congestion is not None:
                 congestion.rc_sent(self, size, arrival.delay)
+            causal = self._causal
+            if causal is not None:
+                now = env.now
+                tid = f"qp{self.qpn}"
+                causal.edge(now + offset_delay, now, "nic_arb",
+                            self.node.node_id, tid)
+                arrival_at = now + arrival.delay
+                causal.edge(arrival_at, now + offset_delay + admit, "wire",
+                            self.remote_node.node_id, tid,
+                            src_node_id=self.node.node_id)
+                causal.edge(arrival_at + self._ack_delta, arrival_at,
+                            "wire", self.node.node_id, tid,
+                            src_node_id=self.remote_node.node_id)
 
             def commit(_event, region=region, base=offset, parts=pieces):
                 plane = self._faults()

@@ -123,13 +123,16 @@ class Cluster:
         return self.congestion
 
     def enable_observability(self, trace: bool = False,
-                             trace_capacity: int | None = None):
+                             trace_capacity: int | None = None,
+                             causal: bool = False):
         """Enable the observability plane (see ``repro.obs``) and return
         it. Idempotent; call *before* opening flow endpoints or creating
         queue pairs (they cache ``node.metrics`` at construction).
         ``trace=True`` traces every flow regardless of its
-        ``FlowOptions.trace`` knob. Enabling never perturbs the simulated
-        timeline: it schedules no kernel events and draws no randomness.
+        ``FlowOptions.trace`` knob; ``causal=True`` additionally records
+        causal edges for the critical-path engine (``repro.obs.causal``).
+        Enabling never perturbs the simulated timeline: it schedules no
+        kernel events and draws no randomness.
         """
         from repro.obs import DEFAULT_TRACE_CAPACITY, ObsPlane
 
@@ -137,12 +140,24 @@ class Cluster:
             if trace_capacity is None:
                 trace_capacity = DEFAULT_TRACE_CAPACITY
             self.obs = ObsPlane(self, trace=trace,
-                                trace_capacity=trace_capacity)
+                                trace_capacity=trace_capacity,
+                                causal=causal)
             for node in self.nodes:
                 node.metrics = self.obs.registry(node.node_id)
             self._register_kernel_collectors()
-        elif trace:
-            self.obs.trace_all = True
+        else:
+            if trace:
+                self.obs.trace_all = True
+            if causal and self.obs.causal is None:
+                from repro.obs import CausalRecorder
+                self.obs.causal = CausalRecorder(self.env)
+        if causal:
+            for node in self.nodes:
+                node.causal = self.obs.causal
+            if self.env.shard_count > 1:
+                # Fabric crossing sites read this slot to record
+                # shard_crossing context spans (see simnet/shard.py).
+                self.env.crossing_recorder = self.obs.causal
         return self.obs
 
     def _register_kernel_collectors(self) -> None:
@@ -191,6 +206,7 @@ class Cluster:
                     "bytes_posted": nic.bytes_posted,
                     "doorbell_trains": nic.doorbell_trains,
                     "rx_dropped_no_recv": nic.rx_dropped_no_recv,
+                    "engine_wait_ns": nic.engine_wait_ns,
                 }
         links = {}
         for node in self.nodes:
@@ -200,6 +216,7 @@ class Cluster:
                     "messages_carried": link.messages_carried,
                     "trains_carried": link.trains_carried,
                     "busy_until_ns": link.busy_until_ns,
+                    "hol_wait_ns": link.hol_wait_ns,
                 }
         kernel = {"shards": self.env.shard_count}
         shard_stats = getattr(self.env, "shard_stats", None)
@@ -220,6 +237,23 @@ class Cluster:
         }
         if self.congestion is not None:
             snapshot["congestion"] = self.congestion.stats()
+        if self.obs is not None:
+            if self.obs.tracers:
+                snapshot["trace_rings"] = {
+                    tracer.flow: {"kept": len(tracer),
+                                  "dropped": tracer.dropped,
+                                  "emitted": tracer.emitted,
+                                  "capacity": tracer.capacity}
+                    for tracer in self.obs.tracers.values()
+                }
+            recorder = self.obs.causal
+            if recorder is not None:
+                snapshot["causal"] = {
+                    "edges": sum(log.next
+                                 for log in recorder.logs.values()),
+                    "flows_closed": len(recorder.closes),
+                    "dropped": recorder.dropped(),
+                }
         return snapshot
 
     @classmethod

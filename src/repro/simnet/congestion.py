@@ -296,8 +296,10 @@ class _RcRate:
                 start = now
             self.next_free = start + size / rate
             delay = start - now
+        pacing = delay
         qp = self.qp
         dst = qp.remote_node
+        hold = 0.0
         if dst is not qp.node:
             down = dst.downlink
             queue = plane._link(down)
@@ -309,6 +311,20 @@ class _RcRate:
                 queue.pfc_stalls += 1
                 plane.pfc_stalls += 1
             self.last_occupancy = level
+        if delay > 0.0:
+            recorder = plane._causal_recorder()
+            if recorder is not None:
+                tid = f"qp{qp.qpn}"
+                if pacing > 0.0:
+                    recorder.edge(now + pacing, now, "ecn_pacing",
+                                  qp.node.node_id, tid)
+                if hold > 0.0:
+                    # Charged against the *destination* — hold-off is the
+                    # hot target's bounded egress queue pushing back, which
+                    # is what hot-target ranking sums per node.
+                    recorder.edge(now + pacing + hold, now + pacing,
+                                  "congestion_holdoff", dst.node_id, tid,
+                                  src_node_id=qp.node.node_id)
         return delay
 
 
@@ -357,6 +373,8 @@ class CongestionPlane:
         self._links: dict = {}
         self._tracer = None
         self._tracer_resolved = False
+        self._causal = None
+        self._causal_resolved = False
         # Plane-wide tallies (per-link detail lives in _LinkStats).
         self.packets_seen = 0
         self.ecn_marks = 0
@@ -461,7 +479,13 @@ class CongestionPlane:
         if start < now:
             start = now
         state.next_free = start + size / (self.line_rate * state.factor)
-        return start - now
+        delay = start - now
+        if delay > 0.0:
+            recorder = self._causal_recorder()
+            if recorder is not None:
+                recorder.edge(now + delay, now, "ecn_pacing",
+                              node.node_id, "ud")
+        return delay
 
     def ud_sent(self, node: "Node", members, size: int) -> None:
         """Observe one multicast send: each member downlink's virtual
@@ -568,6 +592,17 @@ class CongestionPlane:
                 self._tracer = obs.tracer("congestion", True)
                 self._tracer_resolved = True
         return self._tracer
+
+    def _causal_recorder(self):
+        """The cluster's causal-edge recorder, resolved lazily like
+        :meth:`_trace` (pacing/hold-off delays are the plane's edges —
+        see ``repro.obs.causal``). Only consulted on nonzero delays."""
+        if not self._causal_resolved:
+            obs = self.cluster.obs
+            if obs is not None and obs.causal is not None:
+                self._causal = obs.causal
+                self._causal_resolved = True
+        return self._causal
 
     def _emit_rate(self, state: _RcRate) -> None:
         qp = state.qp

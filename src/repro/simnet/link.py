@@ -17,7 +17,8 @@ class Link:
     """One direction of a network port (e.g. a node's uplink to the switch)."""
 
     __slots__ = ("name", "bandwidth", "_busy_until", "_busy_time",
-                 "bytes_carried", "messages_carried", "trains_carried")
+                 "bytes_carried", "messages_carried", "trains_carried",
+                 "_hol_wait")
 
     def __init__(self, name: str, bandwidth: float) -> None:
         if bandwidth <= 0:
@@ -33,6 +34,10 @@ class Link:
         self.messages_carried = 0
         #: Doorbell trains reserved as one unit (``reserve_train`` calls).
         self.trains_carried = 0
+        #: Accumulated head-of-line wait (reservations pushed past their
+        #: requested start by queued traffic) — exact float internally,
+        #: truncated at the read like ``busy_until_ns``.
+        self._hol_wait = 0.0
 
     @property
     def busy_until(self) -> float:
@@ -45,6 +50,13 @@ class Link:
         the read keeps long-run observability sums drift-free while the
         scheduling arithmetic stays exact float."""
         return int(self._busy_until)
+
+    @property
+    def hol_wait_ns(self) -> int:
+        """Integer-ns total head-of-line blocking this link imposed: how
+        long messages sat behind earlier traffic before their slot
+        started. Always-on (harvested at snapshot time)."""
+        return int(self._hol_wait)
 
     def backlog_ns(self, now: float) -> float:
         """Remaining serialization time queued on the link at ``now``."""
@@ -93,6 +105,7 @@ class Link:
         end = start + self.serialization_time(size)
         self._busy_until = end
         self._busy_time += end - start
+        self._hol_wait += start - earliest
         self.bytes_carried += size
         self.messages_carried += 1
         return start, end
@@ -108,6 +121,7 @@ class Link:
         slots = []
         busy = self._busy_until
         busy_time = self._busy_time
+        hol_wait = self._hol_wait
         bandwidth = self.bandwidth
         for size, earliest in zip(sizes, earliests):
             if size < 0:
@@ -116,10 +130,12 @@ class Link:
             end = start + size / bandwidth
             busy = end
             busy_time += end - start
+            hol_wait += start - earliest
             self.bytes_carried += size
             slots.append((start, end))
         self._busy_until = busy
         self._busy_time = busy_time
+        self._hol_wait = hol_wait
         self.messages_carried += len(slots)
         self.trains_carried += 1
         return slots
@@ -136,6 +152,7 @@ class Link:
         end = start + size / self.bandwidth
         self._busy_until = end
         self._busy_time += end - start
+        self._hol_wait += start - earliest
         self.bytes_carried += size
         self.messages_carried += 1
         self.trains_carried += 1

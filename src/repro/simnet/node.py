@@ -43,6 +43,10 @@ class Node:
         #: observability is disabled (the hot-path guard: endpoints cache
         #: this at construction and skip all instrumentation on ``None``).
         self.metrics = None
+        #: Cluster-wide :class:`repro.obs.CausalRecorder`, or ``None``
+        #: unless ``enable_observability(causal=True)`` — same hot-path
+        #: caching contract as ``metrics``.
+        self.causal = None
 
     @property
     def cpu_scale(self) -> float:

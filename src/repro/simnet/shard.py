@@ -85,7 +85,8 @@ class ShardedEnvironment(Environment):
     """
 
     __slots__ = ("_lanes", "_active_shard", "_post_shard", "_drain_limit",
-                 "_drain_dirty", "lookahead", "mailbox_crossings")
+                 "_drain_dirty", "lookahead", "mailbox_crossings",
+                 "crossing_recorder")
 
     def __init__(self, shards: int, initial_time: float = 0.0,
                  lookahead: float = 0.0) -> None:
@@ -113,6 +114,10 @@ class ShardedEnvironment(Environment):
         #: Cross-shard deliveries posted through the fabric (unicast
         #: messages, train messages, multicast member deliveries).
         self.mailbox_crossings = 0
+        #: ``repro.obs.CausalRecorder`` when causal observability is on:
+        #: the fabric records ``shard_crossing`` context spans through it
+        #: (set by ``Cluster.enable_observability(causal=True)``).
+        self.crossing_recorder = None
 
     @property
     def shard_count(self) -> int:  # type: ignore[override]

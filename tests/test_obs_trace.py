@@ -114,7 +114,7 @@ class TestChromeExport:
 
     def test_document_schema(self):
         document = chrome_trace(self._traced_run())
-        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert set(document) == {"traceEvents", "displayTimeUnit", "reproObs"}
         events = document["traceEvents"]
         assert events
         for event in events:
